@@ -1,0 +1,59 @@
+//! Ablation (DESIGN.md §5) — the event-tuning entropy threshold Γ of
+//! eq. (10): Γ = 0 (the paper's "always consider human effect") against
+//! increasingly conservative thresholds that veto low-uncertainty
+//! overrides.
+//!
+//! Run with: `cargo run --release -p aqua-bench --bin abl_gamma_threshold`
+
+use aqua_bench::{f3, print_table, run_scale};
+use aqua_core::experiment::{Experiment, SourceMix};
+use aqua_core::AquaScaleConfig;
+use aqua_fusion::TuningConfig;
+use aqua_ml::ModelKind;
+use aqua_net::synth;
+use aqua_sensing::SensorSet;
+
+fn main() {
+    let net = synth::epa_net();
+    let scale = run_scale(800, 80);
+    // Entropy thresholds: 0 (always accept human), ..., ln 2 (never).
+    let gammas = [0.0, 0.2, 0.4, 0.6, std::f64::consts::LN_2];
+
+    let mut rows = Vec::new();
+    for &gamma in &gammas {
+        let config = AquaScaleConfig {
+            model: ModelKind::hybrid_rsl(),
+            sensors: Some(SensorSet::random_fraction(&net, 0.15, 3)),
+            train_samples: scale.train,
+            max_events: 3,
+            tuning: TuningConfig {
+                gamma_threshold: gamma,
+                ..Default::default()
+            },
+            threads: 8,
+            ..Default::default()
+        };
+        let mut exp = Experiment::new(&net, config);
+        exp.test_samples = scale.test;
+        let (aqua, profile) = exp.train().expect("train");
+        let test = exp.test_corpus(&aqua).expect("corpus");
+        let iot = exp
+            .evaluate(&aqua, &profile, &test, SourceMix::IotOnly, 4)
+            .expect("iot");
+        let human = exp
+            .evaluate(&aqua, &profile, &test, SourceMix::IotHuman, 4)
+            .expect("human");
+        rows.push(vec![
+            format!("{gamma:.3}"),
+            f3(iot.hamming),
+            f3(human.hamming),
+            f3(human.hamming - iot.hamming),
+        ]);
+        eprintln!("done: gamma {gamma}");
+    }
+    print_table(
+        "Ablation: event-tuning threshold Γ (EPA-NET, 15% IoT, HybridRSL)",
+        &["gamma_entropy", "iot_only", "iot_human", "human_gain"],
+        &rows,
+    );
+}

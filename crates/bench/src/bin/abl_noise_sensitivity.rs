@@ -1,0 +1,51 @@
+//! Ablation (DESIGN.md §5) — sensor-noise sensitivity: hamming score as the
+//! pressure/flow measurement noise grows. Not in the paper; quantifies how
+//! much measurement quality the profile model tolerates.
+//!
+//! Run with: `cargo run --release -p aqua-bench --bin abl_noise_sensitivity`
+
+use aqua_bench::{f3, print_table, run_scale};
+use aqua_core::experiment::{Experiment, SourceMix};
+use aqua_core::AquaScaleConfig;
+use aqua_ml::ModelKind;
+use aqua_net::synth;
+use aqua_sensing::{FeatureConfig, MeasurementNoise};
+
+fn main() {
+    let net = synth::epa_net();
+    let scale = run_scale(800, 80);
+    // Pressure sigma in meters; flow sigma scaled proportionally.
+    let sigmas = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0];
+
+    let mut rows = Vec::new();
+    for &sigma in &sigmas {
+        let config = AquaScaleConfig {
+            model: ModelKind::hybrid_rsl(),
+            train_samples: scale.train,
+            max_events: 3,
+            features: FeatureConfig {
+                noise: MeasurementNoise {
+                    pressure_sigma: sigma,
+                    flow_sigma: sigma * 0.005,
+                },
+                include_topology: false,
+            },
+            threads: 8,
+            ..Default::default()
+        };
+        let mut exp = Experiment::new(&net, config);
+        exp.test_samples = scale.test;
+        let (aqua, profile) = exp.train().expect("train");
+        let test = exp.test_corpus(&aqua).expect("corpus");
+        let eval = exp
+            .evaluate(&aqua, &profile, &test, SourceMix::IotOnly, 1)
+            .expect("evaluate");
+        rows.push(vec![format!("{sigma:.2}"), f3(eval.hamming)]);
+        eprintln!("done: sigma {sigma}");
+    }
+    print_table(
+        "Ablation: hamming score vs measurement noise (EPA-NET, HybridRSL, full IoT)",
+        &["pressure_sigma_m", "hamming_score"],
+        &rows,
+    );
+}

@@ -1,0 +1,57 @@
+//! Fig. 10 — WSSC-SUBNET: average hamming score as the maximum number of
+//! concurrent leak events grows (2–8), per source combination.
+//!
+//! Expected shape: the IoT-only score drops with more simultaneous events;
+//! aggregating human and temperature data keeps the curve flatter/higher.
+//!
+//! Run with: `cargo run --release -p aqua-bench --bin fig10_max_leaks`
+
+use aqua_bench::{f3, print_table, run_scale};
+use aqua_core::experiment::{Experiment, SourceMix};
+use aqua_core::AquaScaleConfig;
+use aqua_ml::ModelKind;
+use aqua_net::synth;
+use aqua_sensing::SensorSet;
+
+fn main() {
+    let net = synth::wssc_subnet();
+    let scale = run_scale(700, 80);
+
+    let mut rows = Vec::new();
+    for max_events in 2..=8usize {
+        let config = AquaScaleConfig {
+            model: ModelKind::hybrid_rsl(),
+            sensors: Some(SensorSet::random_fraction(&net, 0.2, 29)),
+            train_samples: scale.train,
+            max_events,
+            threads: 8,
+            ..Default::default()
+        };
+        let mut exp = Experiment::new(&net, config);
+        exp.test_samples = scale.test;
+        exp.temperature_f = 12.0;
+        let (aqua, profile) = exp.train().expect("train");
+        let test = exp.test_corpus(&aqua).expect("corpus");
+        let iot = exp
+            .evaluate(&aqua, &profile, &test, SourceMix::IotOnly, 4)
+            .expect("iot");
+        let human = exp
+            .evaluate(&aqua, &profile, &test, SourceMix::IotHuman, 4)
+            .expect("human");
+        let all = exp
+            .evaluate(&aqua, &profile, &test, SourceMix::IotTempHuman, 4)
+            .expect("all");
+        rows.push(vec![
+            max_events.to_string(),
+            f3(iot.hamming),
+            f3(human.hamming),
+            f3(all.hamming),
+        ]);
+        eprintln!("done: max events {max_events}");
+    }
+    print_table(
+        "Fig. 10: hamming score vs maximum number of leak events (WSSC-SUBNET, 20% IoT)",
+        &["max_events", "iot_only", "iot_human", "iot_human_temp"],
+        &rows,
+    );
+}

@@ -1,0 +1,55 @@
+//! Fig. 6 — Comparison of ML techniques for single-leak identification on
+//! EPA-NET using (a) full and (b) 10% IoT observations.
+//!
+//! Expected shape: all families score high at 100% IoT; RF and SVM degrade
+//! least at 10%.
+//!
+//! Run with: `cargo run --release -p aqua-bench --bin fig6_ml_single_leak`
+//! (set `AQUA_PAPER_SCALE=1` for the 20 000/2 000 corpus).
+
+use aqua_bench::{f3, print_table, run_scale};
+use aqua_core::experiment::Experiment;
+use aqua_core::AquaScaleConfig;
+use aqua_ml::ModelKind;
+use aqua_net::synth;
+use aqua_sensing::SensorSet;
+
+fn main() {
+    let net = synth::epa_net();
+    let scale = run_scale(1_200, 150);
+    let families = [
+        ModelKind::linear_r(),
+        ModelKind::logistic_r(),
+        ModelKind::gradient_boosting(),
+        ModelKind::random_forest(),
+        ModelKind::svm(),
+        ModelKind::hybrid_rsl(),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, fraction) in [("(a) 100% IoT", 1.0), ("(b) 10% IoT", 0.1)] {
+        let sensors = if fraction >= 1.0 {
+            SensorSet::full(&net)
+        } else {
+            SensorSet::random_fraction(&net, fraction, 7)
+        };
+        let config = AquaScaleConfig {
+            sensors: Some(sensors),
+            train_samples: scale.train,
+            max_events: 1, // single-failure scenario
+            threads: 8,
+            ..Default::default()
+        };
+        let mut exp = Experiment::new(&net, config);
+        exp.test_samples = scale.test;
+        let results = exp.compare_models(&families).expect("comparison");
+        for (name, score) in results {
+            rows.push(vec![label.to_string(), name.to_string(), f3(score)]);
+        }
+    }
+    print_table(
+        "Fig. 6: ML comparison, single leak, EPA-NET (hamming score)",
+        &["panel", "model", "hamming_score"],
+        &rows,
+    );
+}

@@ -1,0 +1,63 @@
+//! Fig. 9 — WSSC-SUBNET, multiple failures due to low temperature: average
+//! hamming score as Twitter data gets coarser (larger γ), per source
+//! combination.
+//!
+//! Expected shape: IoT+Human degrades as γ grows (cliques get less
+//! specific); adding temperature compensates and keeps the score higher.
+//!
+//! Run with: `cargo run --release -p aqua-bench --bin fig9_coarseness`
+
+use aqua_bench::{f3, print_table, run_scale};
+use aqua_core::experiment::{Experiment, SourceMix};
+use aqua_core::AquaScaleConfig;
+use aqua_ml::ModelKind;
+use aqua_net::synth;
+use aqua_sensing::SensorSet;
+
+fn main() {
+    let net = synth::wssc_subnet();
+    let scale = run_scale(800, 100);
+    let gammas = [30.0, 100.0, 250.0, 500.0, 1000.0];
+
+    // One profile serves all γ values: γ only affects the human cliques.
+    let config = AquaScaleConfig {
+        model: ModelKind::hybrid_rsl(),
+        sensors: Some(SensorSet::random_fraction(&net, 0.2, 23)),
+        train_samples: scale.train,
+        max_events: 5,
+        threads: 8,
+        ..Default::default()
+    };
+    let mut exp = Experiment::new(&net, config);
+    exp.test_samples = scale.test;
+    exp.temperature_f = 12.0;
+    let (aqua, profile) = exp.train().expect("train");
+    let test = exp.test_corpus(&aqua).expect("corpus");
+
+    let iot_only = exp
+        .evaluate(&aqua, &profile, &test, SourceMix::IotOnly, 4)
+        .expect("iot");
+
+    let mut rows = Vec::new();
+    for &gamma in &gammas {
+        exp.human.radius_m = gamma;
+        let human = exp
+            .evaluate(&aqua, &profile, &test, SourceMix::IotHuman, 4)
+            .expect("human");
+        let all = exp
+            .evaluate(&aqua, &profile, &test, SourceMix::IotTempHuman, 4)
+            .expect("all");
+        rows.push(vec![
+            format!("{gamma:.0}"),
+            f3(iot_only.hamming),
+            f3(human.hamming),
+            f3(all.hamming),
+        ]);
+        eprintln!("done: gamma {gamma} m");
+    }
+    print_table(
+        "Fig. 9: hamming score with coarser twitter data (WSSC-SUBNET, 20% IoT)",
+        &["gamma_m", "iot_only", "iot_human", "iot_human_temp"],
+        &rows,
+    );
+}

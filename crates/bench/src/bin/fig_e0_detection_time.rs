@@ -1,0 +1,88 @@
+//! E0 — The headline detection-time claim: AquaSCALE's two-phase approach
+//! localizes leaks "with detection time reduced by orders of magnitude
+//! (from hours/days to minutes)" versus enumeration through a calibrated
+//! hydraulic simulator.
+//!
+//! Run with: `cargo run --release -p aqua-bench --bin fig_e0_detection_time`
+
+use std::time::Instant;
+
+use aqua_bench::{f3, print_table, run_scale};
+use aqua_core::baseline::{full_enumeration_count, EnumerationBaseline};
+use aqua_core::{AquaScale, AquaScaleConfig, ExternalObservations};
+use aqua_ml::ModelKind;
+use aqua_net::synth;
+use aqua_sensing::{FeatureConfig, MeasurementNoise, SensorSet};
+
+fn main() {
+    let net = synth::epa_net();
+    let scale = run_scale(1_000, 20);
+    let sensors = SensorSet::full(&net);
+    let config = AquaScaleConfig {
+        model: ModelKind::hybrid_rsl(),
+        sensors: Some(sensors.clone()),
+        train_samples: scale.train,
+        max_events: 2,
+        features: FeatureConfig {
+            noise: MeasurementNoise::none(),
+            include_topology: false,
+        },
+        threads: 8,
+        ..Default::default()
+    };
+    let aqua = AquaScale::new(&net, config);
+    let t0 = Instant::now();
+    let profile = aqua.train_profile().expect("phase I");
+    let offline = t0.elapsed();
+
+    let test = aqua.generate_dataset(scale.test, 4242).expect("events");
+    let baseline = EnumerationBaseline::new(&net, sensors);
+
+    let mut phase2_total = 0.0;
+    let mut baseline_total = 0.0;
+    let mut baseline_sims = 0usize;
+    let events = test.x.rows().min(5); // the baseline is the slow part
+    for i in 0..events {
+        let inf = aqua
+            .infer(&profile, test.x.row(i), &ExternalObservations::none())
+            .expect("phase II");
+        phase2_total += inf.latency.as_secs_f64();
+        let res = baseline
+            .localize(test.x.row(i), 8 * 900, 2)
+            .expect("baseline");
+        baseline_total += res.elapsed.as_secs_f64();
+        baseline_sims += res.simulations;
+    }
+    let phase2_ms = phase2_total / events as f64 * 1e3;
+    let baseline_ms = baseline_total / events as f64 * 1e3;
+
+    print_table(
+        "E0: detection time, AquaSCALE Phase II vs enumeration baseline (EPA-NET, 2-leak events)",
+        &["quantity", "value"],
+        &[
+            vec!["events_evaluated".into(), events.to_string()],
+            vec!["phase1_offline_s (amortized)".into(), f3(offline.as_secs_f64())],
+            vec!["phase2_mean_ms".into(), f3(phase2_ms)],
+            vec!["baseline_mean_ms (greedy)".into(), f3(baseline_ms)],
+            vec![
+                "speedup_x".into(),
+                f3(baseline_ms / phase2_ms.max(1e-9)),
+            ],
+            vec![
+                "baseline_sims_per_event".into(),
+                (baseline_sims / events).to_string(),
+            ],
+            vec![
+                "exhaustive_sims_5_leaks_epa".into(),
+                format!("{:.2e}", full_enumeration_count(91, 5, 4)),
+            ],
+            vec![
+                "exhaustive_sims_5_leaks_wssc".into(),
+                format!("{:.2e}", full_enumeration_count(298, 5, 4)),
+            ],
+        ],
+    );
+    println!("note: the greedy baseline already concedes exhaustive search;");
+    println!("scaling its per-event cost by the exhaustive counts above gives");
+    println!("the paper's hours-to-days regime, vs milliseconds for Phase II.");
+}

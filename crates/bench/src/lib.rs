@@ -1,0 +1,73 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one figure of the paper's
+//! evaluation (see DESIGN.md §4 for the experiment index). Corpus sizes
+//! default to a scaled-down setting that finishes in minutes while
+//! preserving every qualitative shape; set `AQUA_PAPER_SCALE=1` to run the
+//! paper's 20 000-train / 2 000-test protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Corpus sizes for an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Phase-I training scenarios.
+    pub train: usize,
+    /// Held-out evaluation scenarios.
+    pub test: usize,
+}
+
+/// Resolves the run scale: the per-binary default, or the paper's
+/// 20 000 / 2 000 when `AQUA_PAPER_SCALE=1` is set.
+pub fn run_scale(default_train: usize, default_test: usize) -> RunScale {
+    if std::env::var("AQUA_PAPER_SCALE").map(|v| v == "1").unwrap_or(false) {
+        RunScale {
+            train: 20_000,
+            test: 2_000,
+        }
+    } else {
+        RunScale {
+            train: default_train,
+            test: default_test,
+        }
+    }
+}
+
+/// Prints a TSV table with an aligned header (the binaries' only output
+/// format, easy to redirect into plotting tools).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("# {title}");
+    println!("{}", headers.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+    println!();
+}
+
+/// Formats a float with 3 decimals (the precision the paper's plots carry).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_respected() {
+        std::env::remove_var("AQUA_PAPER_SCALE");
+        assert_eq!(
+            run_scale(1000, 100),
+            RunScale {
+                train: 1000,
+                test: 100
+            }
+        );
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(0.12345), "0.123");
+    }
+}

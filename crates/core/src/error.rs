@@ -1,0 +1,88 @@
+//! Framework-level error type.
+
+use std::fmt;
+
+use aqua_hydraulics::HydraulicError;
+use aqua_ml::MlError;
+use aqua_sensing::SensingError;
+
+/// Errors surfaced by the AquaSCALE pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AquaError {
+    /// Hydraulic engine failure.
+    Hydraulic(HydraulicError),
+    /// Dataset generation failure.
+    Sensing(SensingError),
+    /// Model training/prediction failure.
+    Ml(MlError),
+    /// The supplied configuration is unusable.
+    InvalidConfig {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AquaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AquaError::Hydraulic(e) => write!(f, "hydraulics: {e}"),
+            AquaError::Sensing(e) => write!(f, "sensing: {e}"),
+            AquaError::Ml(e) => write!(f, "ml: {e}"),
+            AquaError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AquaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AquaError::Hydraulic(e) => Some(e),
+            AquaError::Sensing(e) => Some(e),
+            AquaError::Ml(e) => Some(e),
+            AquaError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<HydraulicError> for AquaError {
+    fn from(e: HydraulicError) -> Self {
+        AquaError::Hydraulic(e)
+    }
+}
+
+impl From<SensingError> for AquaError {
+    fn from(e: SensingError) -> Self {
+        AquaError::Sensing(e)
+    }
+}
+
+impl From<MlError> for AquaError {
+    fn from(e: MlError) -> Self {
+        AquaError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AquaError = MlError::NotFitted.into();
+        assert!(e.to_string().contains("ml"));
+        let e: AquaError = HydraulicError::NoSource.into();
+        assert!(e.to_string().contains("hydraulics"));
+        let e = AquaError::InvalidConfig {
+            reason: "zero samples".into(),
+        };
+        assert!(e.to_string().contains("zero samples"));
+    }
+
+    #[test]
+    fn source_chain_exposed() {
+        use std::error::Error;
+        let e: AquaError = MlError::NotFitted.into();
+        assert!(e.source().is_some());
+    }
+}

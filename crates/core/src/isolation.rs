@@ -1,0 +1,201 @@
+//! Decision support: isolating predicted leaks (paper Secs. VI–VII).
+//!
+//! "A large section of water systems (usually an entire pressure zone) can
+//! be shutdown to prevent cascading failures of pipe burst and to preserve
+//! critical water supplies." Given predicted leak locations, this module
+//! computes the pipe closures that isolate them and quantifies the service
+//! cost: how many consumers lose supply and how much demand is shed.
+
+use std::collections::HashSet;
+
+use aqua_hydraulics::{solve_snapshot, Scenario, SolverOptions};
+use aqua_net::{Adjacency, LinkId, LinkStatus, Network, NodeId};
+
+use crate::error::AquaError;
+
+/// A computed isolation action.
+#[derive(Debug, Clone)]
+pub struct IsolationPlan {
+    /// Links to close (the isolation boundary).
+    pub close_links: Vec<LinkId>,
+    /// Nodes inside the isolated zone (lose supply).
+    pub isolated_nodes: Vec<NodeId>,
+    /// Demand shed inside the zone at the given time, m³/s.
+    pub shed_demand: f64,
+    /// Leak outflow eliminated by the isolation, m³/s.
+    pub stopped_leakage: f64,
+}
+
+/// Computes the isolation zone around `leaks`: every node within `hops`
+/// graph hops of a predicted leak joins the zone; the boundary is the set
+/// of links with exactly one endpoint inside. `scenario` supplies the live
+/// leak state used to price the stopped leakage.
+///
+/// # Errors
+///
+/// Propagates hydraulic failures from the pricing snapshot.
+pub fn plan_isolation(
+    net: &Network,
+    scenario: &Scenario,
+    leaks: &[NodeId],
+    hops: usize,
+    t: u64,
+    solver: &SolverOptions,
+) -> Result<IsolationPlan, AquaError> {
+    let adjacency = net.adjacency();
+    let zone = zone_around(&adjacency, leaks, hops);
+    let mut close_links = Vec::new();
+    for (lid, link) in net.iter_links() {
+        let a = zone.contains(&link.from);
+        let b = zone.contains(&link.to);
+        if a != b {
+            close_links.push(lid);
+        }
+    }
+
+    let snap = solve_snapshot(net, scenario, t, solver)?;
+    let shed_demand: f64 = zone.iter().map(|&n| snap.demands[n.index()]).sum();
+    let stopped_leakage: f64 = zone
+        .iter()
+        .map(|&n| snap.emitter_flow(n))
+        .sum();
+
+    let mut isolated_nodes: Vec<NodeId> = zone.into_iter().collect();
+    isolated_nodes.sort();
+    Ok(IsolationPlan {
+        close_links,
+        isolated_nodes,
+        shed_demand,
+        stopped_leakage,
+    })
+}
+
+/// Verifies a plan hydraulically: applies the closures and checks that the
+/// leak outflow is (near-)eliminated while the rest of the network still
+/// solves. Returns the residual leakage after isolation, m³/s.
+pub fn verify_isolation(
+    net: &Network,
+    scenario: &Scenario,
+    plan: &IsolationPlan,
+    t: u64,
+    solver: &SolverOptions,
+) -> Result<f64, AquaError> {
+    let mut isolated = scenario.clone();
+    for &lid in &plan.close_links {
+        isolated.link_status.push((lid, LinkStatus::Closed));
+    }
+    // Zero the demand inside the zone (customers there are cut off anyway);
+    // otherwise the unsupplied island makes the system unsolvable.
+    // Demand-driven solvers need the island removed from the balance:
+    // emulate by scaling... the solver keeps junction rows; instead we keep
+    // demands and accept depressed heads inside the sealed zone, which is
+    // exactly what happens physically until the zone drains.
+    let snap = solve_snapshot(net, &isolated, t, solver)?;
+    Ok(plan
+        .isolated_nodes
+        .iter()
+        .map(|&n| snap.emitter_flow(n))
+        .sum())
+}
+
+fn zone_around(adjacency: &Adjacency, seeds: &[NodeId], hops: usize) -> HashSet<NodeId> {
+    let mut zone: HashSet<NodeId> = seeds.iter().copied().collect();
+    let mut frontier: Vec<NodeId> = seeds.to_vec();
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &node in &frontier {
+            for &(_, nb) in adjacency.neighbors(node) {
+                if zone.insert(nb) {
+                    next.push(nb);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    zone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_hydraulics::LeakEvent;
+    use aqua_net::synth;
+
+    #[test]
+    fn zone_grows_with_hops() {
+        let net = synth::epa_net();
+        let adjacency = net.adjacency();
+        let seed = [net.junction_ids()[40]];
+        let z0 = zone_around(&adjacency, &seed, 0);
+        let z1 = zone_around(&adjacency, &seed, 1);
+        let z2 = zone_around(&adjacency, &seed, 2);
+        assert_eq!(z0.len(), 1);
+        assert!(z1.len() > z0.len());
+        assert!(z2.len() > z1.len());
+    }
+
+    #[test]
+    fn boundary_links_straddle_the_zone() {
+        let net = synth::epa_net();
+        let leak = net.junction_ids()[40];
+        let scenario = Scenario::new().with_leak(LeakEvent::new(leak, 0.01, 0));
+        let plan = plan_isolation(
+            &net,
+            &scenario,
+            &[leak],
+            1,
+            0,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        assert!(!plan.close_links.is_empty());
+        let zone: HashSet<NodeId> = plan.isolated_nodes.iter().copied().collect();
+        for &lid in &plan.close_links {
+            let link = net.link(lid);
+            assert_ne!(
+                zone.contains(&link.from),
+                zone.contains(&link.to),
+                "boundary link must straddle the zone"
+            );
+        }
+        assert!(plan.stopped_leakage > 0.0);
+        assert!(plan.shed_demand > 0.0);
+    }
+
+    #[test]
+    fn isolation_eliminates_most_leakage() {
+        let net = synth::epa_net();
+        let leak = net.junction_ids()[40];
+        let scenario = Scenario::new().with_leak(LeakEvent::new(leak, 0.02, 0));
+        let solver = SolverOptions::default();
+        let before = solve_snapshot(&net, &scenario, 0, &solver)
+            .unwrap()
+            .total_leakage();
+        let plan = plan_isolation(&net, &scenario, &[leak], 1, 0, &solver).unwrap();
+        let residual = verify_isolation(&net, &scenario, &plan, 0, &solver).unwrap();
+        assert!(
+            residual < before * 0.2,
+            "isolation must cut leakage: {residual} of {before}"
+        );
+    }
+
+    #[test]
+    fn empty_leak_set_isolates_nothing() {
+        let net = synth::epa_net();
+        let plan = plan_isolation(
+            &net,
+            &Scenario::default(),
+            &[],
+            2,
+            0,
+            &SolverOptions::default(),
+        )
+        .unwrap();
+        assert!(plan.isolated_nodes.is_empty());
+        assert!(plan.close_links.is_empty());
+        assert_eq!(plan.shed_demand, 0.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Scenario generation module (paper Sec. VI): cold-weather failure
+//! scenarios coupling the freeze model to leak events.
+//!
+//! "Multi-failure is often caused by the ice blockage in winter, thus *Pipe
+//! Failures due to Low Temperature* is considered as the use case of
+//! multiple leaks" (Sec. V-A). In these scenarios the leaking pipes froze
+//! (that is what broke them), and additional pipes are frozen without
+//! (yet) leaking — drawn per node with `p_v(freeze)` exactly as the paper
+//! describes.
+
+use aqua_fusion::FreezeModel;
+use aqua_hydraulics::Scenario;
+use aqua_net::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A cold-snap failure scenario: the leak events plus the per-junction
+/// frozen flags the weather feed would report.
+#[derive(Debug, Clone)]
+pub struct ColdSnapSample {
+    /// Ambient temperature, °F.
+    pub temperature_f: f64,
+    /// Per-junction frozen flags (aligned with the junction list used to
+    /// build it).
+    pub frozen: Vec<bool>,
+}
+
+/// Draws the frozen flags consistent with a leak scenario under
+/// `temperature_f`: every leaking junction is frozen (freeze caused the
+/// break) and every other junction freezes independently with
+/// `p_v(freeze)`. Above the freeze threshold nothing freezes and the
+/// weather feed is uninformative.
+pub fn cold_snap_flags(
+    junctions: &[NodeId],
+    scenario: &Scenario,
+    temperature_f: f64,
+    freeze: &FreezeModel,
+    seed: u64,
+) -> ColdSnapSample {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let frozen = if freeze.is_cold(temperature_f) {
+        let leak_start = scenario.leaks.iter().map(|l| l.start).min().unwrap_or(0);
+        let leaking = scenario.true_leak_nodes(leak_start);
+        junctions
+            .iter()
+            .map(|j| leaking.contains(j) || rng.random_range(0.0..1.0) < freeze.p_freeze)
+            .collect()
+    } else {
+        vec![false; junctions.len()]
+    };
+    ColdSnapSample {
+        temperature_f,
+        frozen,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_hydraulics::LeakEvent;
+    use aqua_net::synth;
+
+    fn setup() -> (Vec<NodeId>, Scenario) {
+        let net = synth::epa_net();
+        let junctions = net.junction_ids();
+        let scenario = Scenario::new().with_leaks([
+            LeakEvent::new(junctions[5], 0.01, 0),
+            LeakEvent::new(junctions[50], 0.01, 0),
+        ]);
+        (junctions, scenario)
+    }
+
+    #[test]
+    fn warm_weather_freezes_nothing() {
+        let (junctions, scenario) = setup();
+        let s = cold_snap_flags(&junctions, &scenario, 45.0, &FreezeModel::default(), 1);
+        assert!(s.frozen.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn cold_weather_freezes_leak_nodes_always() {
+        let (junctions, scenario) = setup();
+        for seed in 0..20 {
+            let s =
+                cold_snap_flags(&junctions, &scenario, 10.0, &FreezeModel::default(), seed);
+            assert!(s.frozen[5], "leak node must be frozen");
+            assert!(s.frozen[50], "leak node must be frozen");
+        }
+    }
+
+    #[test]
+    fn cold_weather_freeze_rate_matches_p_freeze() {
+        let (junctions, scenario) = setup();
+        let mut frozen_total = 0usize;
+        let trials = 200;
+        for seed in 0..trials {
+            let s =
+                cold_snap_flags(&junctions, &scenario, 10.0, &FreezeModel::default(), seed);
+            frozen_total += s
+                .frozen
+                .iter()
+                .enumerate()
+                .filter(|&(i, &f)| f && i != 5 && i != 50)
+                .count();
+        }
+        let rate = frozen_total as f64 / (trials as f64 * 89.0);
+        assert!((rate - 0.8).abs() < 0.03, "non-leak freeze rate {rate}");
+    }
+
+    #[test]
+    fn flags_are_deterministic_per_seed() {
+        let (junctions, scenario) = setup();
+        let a = cold_snap_flags(&junctions, &scenario, 10.0, &FreezeModel::default(), 9);
+        let b = cold_snap_flags(&junctions, &scenario, 10.0, &FreezeModel::default(), 9);
+        assert_eq!(a.frozen, b.frozen);
+    }
+}

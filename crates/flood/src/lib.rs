@@ -1,0 +1,40 @@
+//! Flood cascade modeling (paper Sec. V-D, Fig. 11).
+//!
+//! "AquaSCALE incorporates flood modeling and prediction to study cascading
+//! events. We apply BreZo … the flood is predicted based on the digital
+//! elevation map (DEM), interpolated from node elevations … we use (1) to
+//! calculate the outflow rate based on pressure readings, which is then
+//! input into BreZo for flood simulations."
+//!
+//! BreZo itself (an unstructured-mesh Godunov scheme) is closed source;
+//! this crate substitutes the standard raster reduction of the same
+//! physics: a [`Dem`] interpolated from node elevations by inverse-distance
+//! weighting, and a local-inertial finite-volume shallow-water solver
+//! ([`FloodSim`]) with CFL-adaptive explicit stepping and Manning friction,
+//! driven by point sources at the leak locations.
+//!
+//! # Example
+//!
+//! ```
+//! use aqua_flood::{Dem, FloodSim, PointSource};
+//! use aqua_net::synth;
+//!
+//! let net = synth::wssc_subnet();
+//! let dem = Dem::from_network(&net, 40, 24);
+//! let mut sim = FloodSim::new(dem);
+//! let leak = &net.nodes()[100];
+//! let sources = [PointSource { x: leak.x, y: leak.y, flow_m3s: 0.5 }];
+//! let result = sim.run(&sources, 600.0);
+//! assert!(result.max_depth > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dem;
+mod render;
+mod solver;
+
+pub use dem::Dem;
+pub use render::{ascii_depth_map, DepthStats};
+pub use solver::{leak_sources_from_snapshot, FloodResult, FloodSim, PointSource};

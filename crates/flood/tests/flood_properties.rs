@@ -1,0 +1,85 @@
+//! Property-based tests on the shallow-water solver's physical invariants.
+
+use aqua_flood::{Dem, FloodSim, PointSource};
+use proptest::prelude::*;
+
+fn bowl(n: usize, slope: f64) -> Dem {
+    let c = (n as f64 - 1.0) / 2.0;
+    let mut z = Vec::with_capacity(n * n);
+    for j in 0..n {
+        for i in 0..n {
+            let d = ((i as f64 - c).powi(2) + (j as f64 - c).powi(2)).sqrt();
+            z.push(d * slope);
+        }
+    }
+    Dem::from_grid(n, n, 10.0, z)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Volume conservation in a closed bowl: ponded volume equals inflow,
+    /// for arbitrary source strengths, positions and terrain slopes.
+    #[test]
+    fn volume_conserved(
+        flow in 0.1f64..5.0,
+        slope in 0.2f64..3.0,
+        sx in 15.0f64..95.0,
+        sy in 15.0f64..95.0,
+    ) {
+        let dem = bowl(11, slope);
+        let mut sim = FloodSim::new(dem);
+        let src = [PointSource { x: sx, y: sy, flow_m3s: flow }];
+        let result = sim.run(&src, 60.0);
+        let expected = flow * result.simulated_s;
+        prop_assert!(
+            (result.volume - expected).abs() / expected < 1e-6,
+            "volume {} vs inflow {}", result.volume, expected
+        );
+    }
+
+    /// Depths are never negative and never NaN, for arbitrary runs.
+    #[test]
+    fn depths_stay_physical(flow in 0.1f64..8.0, duration in 10.0f64..200.0) {
+        let dem = bowl(9, 1.0);
+        let mut sim = FloodSim::new(dem);
+        let src = [PointSource { x: 45.0, y: 45.0, flow_m3s: flow }];
+        sim.run(&src, duration);
+        for &h in sim.depths() {
+            prop_assert!(h >= 0.0);
+            prop_assert!(h.is_finite());
+        }
+    }
+
+    /// Monotonicity: more inflow time never shrinks the ponded volume.
+    #[test]
+    fn volume_monotone_in_time(flow in 0.2f64..3.0) {
+        let dem = bowl(9, 1.0);
+        let mut sim = FloodSim::new(dem);
+        let src = [PointSource { x: 45.0, y: 45.0, flow_m3s: flow }];
+        let mut prev = 0.0;
+        for _ in 0..5 {
+            sim.run(&src, 20.0);
+            let v = sim.volume();
+            prop_assert!(v >= prev - 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Still water in a bowl has no spontaneous flow: without sources the
+    /// total volume is invariant under stepping.
+    #[test]
+    fn no_spontaneous_water(slope in 0.2f64..3.0) {
+        let dem = bowl(9, slope);
+        let mut sim = FloodSim::new(dem);
+        // Pour some water first.
+        sim.run(&[PointSource { x: 45.0, y: 45.0, flow_m3s: 1.0 }], 30.0);
+        let before = sim.volume();
+        sim.run(&[], 60.0);
+        let after = sim.volume();
+        prop_assert!(
+            (after - before).abs() / before < 1e-6,
+            "volume changed {before} -> {after} without sources"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Bayes expert aggregation of leak probabilities (paper eqs. 5–6).
+//!
+//! "[Combining] probability distributions from experts in risk analysis …
+//! we simply consider each information source as an expert." Each source
+//! `j` reports `p_j = P(leak)`; the posterior odds are the product of the
+//! per-source odds (eq. 6), and the fused probability is
+//! `q* / (1 + q*)` (eq. 5). Algorithm 2 lines 8–9 instantiate this for the
+//! IoT prediction and the freeze probability.
+
+/// Fuses independent expert probabilities by odds multiplication.
+///
+/// `aggregate_odds(&[p])` returns `p`; more agreeing sources push the
+/// fused value toward certainty ("more sources of information means more
+/// certainty"). Probabilities are clamped into `(ε, 1−ε)` so a single
+/// overconfident source cannot produce NaN.
+pub fn aggregate_odds(probabilities: &[f64]) -> f64 {
+    assert!(!probabilities.is_empty(), "need at least one source");
+    let q: f64 = probabilities
+        .iter()
+        .map(|&p| {
+            let p = p.clamp(1e-9, 1.0 - 1e-9);
+            p / (1.0 - p)
+        })
+        .product();
+    q / (1.0 + q)
+}
+
+/// Algorithm 2 lines 8–9: updates the IoT-predicted leak probability
+/// `p_iot` at a node detected to be frozen, fusing in
+/// `p(leak | freeze)`:
+///
+/// `q* = [p/(1−p)] · [p_lf/(1−p_lf)]`, then `p* = q*/(1+q*)`.
+pub fn freeze_update(p_iot: f64, p_leak_given_freeze: f64) -> f64 {
+    aggregate_odds(&[p_iot, p_leak_given_freeze])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_source_is_identity() {
+        for p in [0.1, 0.5, 0.9] {
+            assert!((aggregate_odds(&[p]) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn agreeing_sources_increase_certainty() {
+        // The paper's example: two sources at 0.6 fuse well above 0.6.
+        let fused = aggregate_odds(&[0.6, 0.6]);
+        assert!(fused > 0.68, "fused {fused}");
+        // And symmetrically below for disbelieving sources.
+        let fused = aggregate_odds(&[0.4, 0.4]);
+        assert!(fused < 0.32, "fused {fused}");
+    }
+
+    #[test]
+    fn neutral_source_changes_nothing() {
+        let fused = aggregate_odds(&[0.7, 0.5]);
+        assert!((fused - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_matches_odds_algebra() {
+        // q = (0.6/0.4)·(0.9/0.1) = 13.5 → p = 13.5/14.5.
+        let fused = aggregate_odds(&[0.6, 0.9]);
+        assert!((fused - 13.5 / 14.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freeze_update_follows_algorithm_2() {
+        // Algorithm 2 line 8 with p_v(1)=0.3, p(leak|freeze)=0.9:
+        // q = (0.3/0.7)(0.9/0.1) = 3.857…, p* = q/(1+q) ≈ 0.794.
+        let p = freeze_update(0.3, 0.9);
+        let q = (0.3 / 0.7) * (0.9 / 0.1);
+        assert!((p - q / (1.0 + q)).abs() < 1e-9);
+        assert!(p > 0.3, "freeze evidence raises belief");
+    }
+
+    #[test]
+    fn extreme_probabilities_stay_finite() {
+        for p in [0.0, 1.0] {
+            let fused = aggregate_odds(&[p, 0.5]);
+            assert!(fused.is_finite());
+            assert!((0.0..=1.0).contains(&fused));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_sources_panic() {
+        let _ = aggregate_odds(&[]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Prediction uncertainty: entropy and the energy function (eqs. 7–9).
+
+/// Binary entropy `H(y_v) = −Σ_i p_v(i)·log p_v(i)` (eq. 7), natural log,
+/// with the `0·log 0 = 0` convention. Maximal (ln 2) at `p = 0.5`, zero at
+/// certainty.
+pub fn binary_entropy(p1: f64) -> f64 {
+    let p1 = p1.clamp(0.0, 1.0);
+    let p0 = 1.0 - p1;
+    let term = |p: f64| if p > 0.0 { -p * p.ln() } else { 0.0 };
+    term(p0) + term(p1)
+}
+
+/// The uncertainty part of the energy function (eq. 8):
+/// `E[y] = Σ_v H(y_v)`.
+pub fn total_entropy(p1: &[f64]) -> f64 {
+    p1.iter().map(|&p| binary_entropy(p)).sum()
+}
+
+/// The higher-order potential of one clique (eq. 10), given whether some
+/// clique member is currently predicted to leak and the maximum member
+/// entropy:
+///
+/// * 0 if a member is predicted to leak (consistent event);
+/// * 0 if every member's entropy is below `gamma_threshold` (the
+///   prediction is determinate enough to ignore the subzone report);
+/// * `f64::INFINITY` otherwise (inconsistent event).
+pub fn clique_potential(
+    any_member_predicted: bool,
+    max_member_entropy: f64,
+    gamma_threshold: f64,
+) -> f64 {
+    if any_member_predicted || max_member_entropy < gamma_threshold {
+        0.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_is_maximal_at_half() {
+        assert!((binary_entropy(0.5) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!(binary_entropy(0.3) < binary_entropy(0.5));
+        assert!(binary_entropy(0.7) < binary_entropy(0.5));
+    }
+
+    #[test]
+    fn entropy_is_zero_at_certainty() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+    }
+
+    #[test]
+    fn entropy_is_symmetric() {
+        for p in [0.1, 0.25, 0.4] {
+            assert!((binary_entropy(p) - binary_entropy(1.0 - p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn total_entropy_sums_members() {
+        let e = total_entropy(&[0.5, 0.0, 1.0]);
+        assert!((e - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_zero_when_consistent() {
+        assert_eq!(clique_potential(true, 0.6, 0.0), 0.0);
+    }
+
+    #[test]
+    fn potential_zero_when_confident_no_leak() {
+        // High Γ: predictions below it are determinate enough to override
+        // the subzone report.
+        assert_eq!(clique_potential(false, 0.1, 0.2), 0.0);
+    }
+
+    #[test]
+    fn potential_infinite_when_inconsistent() {
+        assert_eq!(clique_potential(false, 0.5, 0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,39 @@
+//! External-observation fusion for AquaSCALE (paper Secs. III-C/D, IV-B).
+//!
+//! Phase II of the composite algorithm fuses the profile model's IoT-based
+//! leak probabilities with two external sources:
+//!
+//! * **Weather** — below 20 °F pipes may freeze and then break; frozen
+//!   nodes get their leak probability updated by Bayes expert aggregation
+//!   (eqs. 5–6, Algorithm 2 lines 6–13). The [`weather`] module also
+//!   generates the synthetic NOAA-style series behind Fig. 3.
+//! * **Human input** — geo-tagged tweets arriving as a Poisson stream
+//!   (eq. 4) with false-positive rate `p_e` (eq. 3) define subzone cliques;
+//!   [`tuning::tune_events`] enforces event consistency between the
+//!   pipeline-level prediction and the subzone-level reports using
+//!   higher-order potentials (eqs. 9–10, Algorithm 2 lines 14–26).
+//!
+//! # Example
+//!
+//! ```
+//! use aqua_fusion::bayes;
+//!
+//! // Two independent sources both report 0.6 — the fused belief is higher.
+//! let fused = bayes::aggregate_odds(&[0.6, 0.6]);
+//! assert!(fused > 0.6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod entropy;
+pub mod human;
+pub mod markov;
+pub mod tuning;
+pub mod weather;
+
+pub use human::{Clique, HumanInputModel, Tweet};
+pub use markov::{MarkovWeather, Regime};
+pub use tuning::{tune_events, TuningConfig, TuningOutcome};
+pub use weather::{BreakRateModel, FreezeModel, TemperatureModel};

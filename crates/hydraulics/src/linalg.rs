@@ -1,0 +1,375 @@
+//! Linear algebra kernels for the GGA inner solve.
+//!
+//! The GGA normal matrix is symmetric positive definite (an M-matrix built
+//! from link conductances plus emitter derivatives), so two classic solvers
+//! apply:
+//!
+//! * [`DenseSpd`] — dense Cholesky factorization, `O(n³)`, unbeatable for
+//!   small junction counts;
+//! * [`SparseSym`] + [`conjugate_gradient`] — compressed-sparse-row storage
+//!   with a Jacobi-preconditioned conjugate gradient, `O(nnz)` per
+//!   iteration, the right choice for larger networks.
+//!
+//! Both are exercised against each other in tests and benchmarked in the
+//! backend ablation (DESIGN.md §5).
+
+/// A dense symmetric positive definite matrix with a Cholesky solver.
+#[derive(Debug, Clone)]
+pub struct DenseSpd {
+    n: usize,
+    /// Row-major storage of the full matrix.
+    a: Vec<f64>,
+}
+
+impl DenseSpd {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseSpd {
+            n,
+            a: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `value` to entry `(i, j)` and, if `i != j`, to `(j, i)`.
+    pub fn add_sym(&mut self, i: usize, j: usize, value: f64) {
+        self.a[i * self.n + j] += value;
+        if i != j {
+            self.a[j * self.n + i] += value;
+        }
+    }
+
+    /// Entry accessor (for tests).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.n + j]
+    }
+
+    /// Solves `A x = b` by Cholesky factorization. Returns `None` if the
+    /// matrix is not positive definite.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        // Lower-triangular factor L with A = L Lᵀ.
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.a[i * n + j];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        // Forward substitution L y = b.
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= l[i * n + k] * y[k];
+            }
+            y[i] = sum / l[i * n + i];
+        }
+        // Back substitution Lᵀ x = y.
+        let mut x = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= l[k * n + i] * x[k];
+            }
+            x[i] = sum / l[i * n + i];
+        }
+        Some(x)
+    }
+}
+
+/// A sparse symmetric matrix assembled from coordinate triplets and stored
+/// in CSR form (full pattern, both triangles).
+#[derive(Debug, Clone)]
+pub struct SparseSym {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Builder that accumulates `(i, j, value)` triplets; duplicates are summed.
+#[derive(Debug, Clone)]
+pub struct SparseBuilder {
+    n: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl SparseBuilder {
+    /// Creates a builder for an `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        SparseBuilder {
+            n,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(i, j)` and, if `i != j`, at `(j, i)`.
+    pub fn add_sym(&mut self, i: usize, j: usize, value: f64) {
+        self.triplets.push((i, j, value));
+        if i != j {
+            self.triplets.push((j, i, value));
+        }
+    }
+
+    /// Finalizes into CSR form (duplicate triplets are summed).
+    pub fn build(mut self) -> SparseSym {
+        self.triplets.sort_unstable_by_key(|&(i, j, _)| (i, j));
+        let mut row_of: Vec<usize> = Vec::with_capacity(self.triplets.len());
+        let mut col_idx: Vec<usize> = Vec::with_capacity(self.triplets.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.triplets.len());
+        for &(i, j, v) in &self.triplets {
+            if row_of.last() == Some(&i) && col_idx.last() == Some(&j) {
+                *values.last_mut().expect("non-empty alongside col_idx") += v;
+            } else {
+                row_of.push(i);
+                col_idx.push(j);
+                values.push(v);
+            }
+        }
+        let mut row_ptr = vec![0usize; self.n + 1];
+        for &r in &row_of {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..self.n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        SparseSym {
+            n: self.n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+impl SparseSym {
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Dense entry lookup (for tests; `O(row nnz)`).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .filter(|(&c, _)| c == j)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// `y = A x`.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Diagonal entries (Jacobi preconditioner).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.get(i, i)).collect()
+    }
+}
+
+/// Solves `A x = b` for SPD `A` by Jacobi-preconditioned conjugate gradient.
+///
+/// Returns `None` if the iteration fails to reach `tol` (relative residual)
+/// within `max_iter` steps or breaks down.
+pub fn conjugate_gradient(
+    a: &SparseSym,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> Option<Vec<f64>> {
+    let n = a.dim();
+    assert_eq!(b.len(), n);
+    let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if b_norm == 0.0 {
+        return Some(vec![0.0; n]);
+    }
+    let inv_diag: Vec<f64> = a
+        .diagonal()
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
+        .collect();
+
+    let mut x = vec![0.0f64; n];
+    let mut r = b.to_vec();
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let mut ap = vec![0.0f64; n];
+
+    for _ in 0..max_iter {
+        a.mul_vec(&p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if pap <= 0.0 || !pap.is_finite() {
+            return None;
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let r_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if r_norm <= tol * b_norm {
+            return Some(x);
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_dense(n: usize) -> DenseSpd {
+        // Tridiagonal SPD matrix: 2 on diagonal, -1 off (grounded chain).
+        let mut m = DenseSpd::zeros(n);
+        for i in 0..n {
+            m.add_sym(i, i, 2.0);
+            if i + 1 < n {
+                m.add_sym(i, i + 1, -1.0);
+            }
+        }
+        m
+    }
+
+    fn laplacian_sparse(n: usize) -> SparseSym {
+        let mut b = SparseBuilder::new(n);
+        for i in 0..n {
+            b.add_sym(i, i, 2.0);
+            if i + 1 < n {
+                b.add_sym(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn cholesky_solves_identity() {
+        let mut m = DenseSpd::zeros(3);
+        for i in 0..3 {
+            m.add_sym(i, i, 1.0);
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cholesky_solves_tridiagonal_exactly() {
+        let n = 10;
+        let m = laplacian_dense(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 1.0).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += m.get(i, j) * x_true[j];
+            }
+        }
+        let x = m.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut m = DenseSpd::zeros(2);
+        m.add_sym(0, 0, 1.0);
+        m.add_sym(1, 1, -1.0);
+        assert!(m.solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn sparse_assembly_merges_duplicates() {
+        let mut b = SparseBuilder::new(2);
+        b.add_sym(0, 0, 1.0);
+        b.add_sym(0, 0, 2.0);
+        b.add_sym(0, 1, -1.0);
+        let m = b.build();
+        assert!((m.get(0, 0) - 3.0).abs() < 1e-12);
+        assert!((m.get(0, 1) + 1.0).abs() < 1e-12);
+        assert!((m.get(1, 0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_matvec_matches_dense() {
+        let n = 8;
+        let d = laplacian_dense(n);
+        let s = laplacian_sparse(n);
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 1.0).collect();
+        let mut ys = vec![0.0; n];
+        s.mul_vec(&x, &mut ys);
+        for i in 0..n {
+            let yd: f64 = (0..n).map(|j| d.get(i, j) * x[j]).sum();
+            assert!((ys[i] - yd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cg_matches_cholesky() {
+        let n = 30;
+        let d = laplacian_dense(n);
+        let s = laplacian_sparse(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let xd = d.solve(&b).unwrap();
+        let xs = conjugate_gradient(&s, &b, 1e-12, 10 * n).unwrap();
+        for (a, b) in xd.iter().zip(&xs) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_zero() {
+        let s = laplacian_sparse(5);
+        let x = conjugate_gradient(&s, &[0.0; 5], 1e-12, 100).unwrap();
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cg_fails_gracefully_on_indefinite() {
+        let mut b = SparseBuilder::new(2);
+        b.add_sym(0, 0, 1.0);
+        b.add_sym(1, 1, -1.0);
+        let m = b.build();
+        assert!(conjugate_gradient(&m, &[1.0, 1.0], 1e-12, 100).is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Gradient boosting with logistic loss (the paper's "GB").
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::classifier::util::{check_fit, check_predict, sigmoid};
+use crate::classifier::Classifier;
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use crate::tree::{Criterion, DecisionTreeConfig, GrownTree};
+
+/// Hyperparameters for [`GradientBoosting`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientBoostingConfig {
+    /// Number of boosting stages.
+    pub n_stages: usize,
+    /// Shrinkage applied to each stage.
+    pub learning_rate: f64,
+    /// Depth of the per-stage regression trees.
+    pub max_depth: usize,
+    /// Minimum samples to split within stage trees.
+    pub min_samples_split: usize,
+}
+
+impl Default for GradientBoostingConfig {
+    fn default() -> Self {
+        GradientBoostingConfig {
+            n_stages: 40,
+            learning_rate: 0.2,
+            max_depth: 3,
+            min_samples_split: 4,
+        }
+    }
+}
+
+/// Gradient-boosted shallow regression trees on the logistic loss.
+///
+/// Each stage fits a regression tree to the pseudo-residuals `y − σ(F)` and
+/// adds it to the additive model `F` with shrinkage; probabilities are
+/// `σ(F)`.
+#[derive(Debug, Clone)]
+pub struct GradientBoosting {
+    config: GradientBoostingConfig,
+    seed: u64,
+    init_score: f64,
+    stages: Vec<GrownTree>,
+    n_features: Option<usize>,
+}
+
+impl GradientBoosting {
+    /// Creates an unfitted model.
+    pub fn with_config(config: GradientBoostingConfig, seed: u64) -> Self {
+        GradientBoosting {
+            config,
+            seed,
+            init_score: 0.0,
+            stages: Vec::new(),
+            n_features: None,
+        }
+    }
+
+    /// Number of fitted stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    fn raw_score(&self, row: &[f64]) -> f64 {
+        self.init_score
+            + self
+                .stages
+                .iter()
+                .map(|t| self.config.learning_rate * t.predict_one(row))
+                .sum::<f64>()
+    }
+}
+
+impl Default for GradientBoosting {
+    fn default() -> Self {
+        GradientBoosting::with_config(GradientBoostingConfig::default(), 0)
+    }
+}
+
+impl Classifier for GradientBoosting {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), MlError> {
+        let n_pos = check_fit(x, y)?;
+        let n = x.rows();
+        // Initial log-odds (clamped away from ±∞ for single-class sets).
+        let p0 = (n_pos as f64 / n as f64).clamp(1e-4, 1.0 - 1e-4);
+        self.init_score = (p0 / (1.0 - p0)).ln();
+        self.stages.clear();
+        self.n_features = Some(x.cols());
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let tree_config = DecisionTreeConfig {
+            max_depth: self.config.max_depth,
+            min_samples_split: self.config.min_samples_split,
+            max_features: None,
+            balance_classes: false,
+        };
+        let indices: Vec<usize> = (0..n).collect();
+        let mut scores: Vec<f64> = vec![self.init_score; n];
+        for _ in 0..self.config.n_stages {
+            let residuals: Vec<f64> = scores
+                .iter()
+                .zip(y)
+                .map(|(&f, &yi)| yi as f64 - sigmoid(f))
+                .collect();
+            let tree = GrownTree::grow(
+                x,
+                &residuals,
+                &indices,
+                Criterion::Mse,
+                &tree_config,
+                &mut rng,
+            );
+            for (i, score) in scores.iter_mut().enumerate() {
+                *score += self.config.learning_rate * tree.predict_one(x.row(i));
+                if !score.is_finite() {
+                    return Err(MlError::Diverged);
+                }
+            }
+            self.stages.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        if self.stages.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        check_predict(x, self.n_features)?;
+        Ok(x
+            .iter_rows()
+            .map(|row| sigmoid(self.raw_score(row)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banded_data(n: usize) -> (Matrix, Vec<u8>) {
+        // Positive iff x in [1, 2] ∪ [4, 5] — needs several splits.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let v = 6.0 * (i as f64 / n as f64);
+            rows.push(vec![v, (i % 3) as f64]);
+            labels.push(u8::from((1.0..2.0).contains(&v) || (4.0..5.0).contains(&v)));
+        }
+        (Matrix::from_vec_rows(rows), labels)
+    }
+
+    #[test]
+    fn boosting_learns_banded_target() {
+        let (x, y) = banded_data(240);
+        let mut gb = GradientBoosting::default();
+        gb.fit(&x, &y).unwrap();
+        let pred = gb.predict(&x).unwrap();
+        let acc =
+            pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn more_stages_reduce_training_error() {
+        let (x, y) = banded_data(200);
+        let mut weak = GradientBoosting::with_config(
+            GradientBoostingConfig {
+                n_stages: 2,
+                ..Default::default()
+            },
+            0,
+        );
+        let mut strong = GradientBoosting::with_config(
+            GradientBoostingConfig {
+                n_stages: 60,
+                ..Default::default()
+            },
+            0,
+        );
+        weak.fit(&x, &y).unwrap();
+        strong.fit(&x, &y).unwrap();
+        let err = |m: &GradientBoosting| {
+            m.predict(&x)
+                .unwrap()
+                .iter()
+                .zip(&y)
+                .filter(|(a, b)| a != b)
+                .count()
+        };
+        assert!(err(&strong) <= err(&weak));
+        assert_eq!(strong.stage_count(), 60);
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (x, y) = banded_data(120);
+        let mut gb = GradientBoosting::default();
+        gb.fit(&x, &y).unwrap();
+        for p in gb.predict_proba(&x).unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn single_class_training_is_stable() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let mut gb = GradientBoosting::default();
+        gb.fit(&x, &[0, 0, 0]).unwrap();
+        let p = gb.predict_proba(&x).unwrap();
+        assert!(p.iter().all(|&v| v < 0.1), "{p:?}");
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let x = Matrix::from_rows(&[&[1.0]]);
+        assert_eq!(
+            GradientBoosting::default().predict_proba(&x),
+            Err(MlError::NotFitted)
+        );
+    }
+}

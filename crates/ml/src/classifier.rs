@@ -1,0 +1,292 @@
+//! The plug-and-play classifier interface and model factory.
+
+use crate::boosting::{GradientBoosting, GradientBoostingConfig};
+use crate::error::MlError;
+use crate::forest::{RandomForest, RandomForestConfig};
+use crate::hybrid::{HybridRsl, HybridRslConfig};
+use crate::linear::{LinearRegressionClassifier, LogisticRegression, LogisticRegressionConfig};
+use crate::matrix::Matrix;
+use crate::svm::{LinearSvm, LinearSvmConfig};
+use crate::tree::{DecisionTree, DecisionTreeConfig};
+
+/// A binary classifier with probabilistic output — the interface Algorithm 1
+/// (`fit`) and Algorithm 2 (`predict_proba` / `predict`) consume.
+///
+/// Labels are `0` (no leak) / `1` (leak). `predict_proba` returns
+/// `P(y = 1)` per sample; `predict` thresholds it at 0.5.
+pub trait Classifier: Send {
+    /// Fits the model to training features `x` and labels `y`.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::DimensionMismatch`] when `x.rows() != y.len()` and
+    /// [`MlError::EmptyTrainingSet`] on empty input. Single-class training
+    /// sets are legal: the model degenerates to a constant predictor.
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), MlError>;
+
+    /// Probability of the positive class per row of `x`.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::NotFitted`] before `fit`; [`MlError::FeatureMismatch`]
+    /// when `x` has a different column count than the training matrix.
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError>;
+
+    /// Hard 0/1 predictions (`predict_proba` thresholded at 0.5).
+    fn predict(&self, x: &Matrix) -> Result<Vec<u8>, MlError> {
+        Ok(self
+            .predict_proba(x)?
+            .into_iter()
+            .map(|p| u8::from(p > 0.5))
+            .collect())
+    }
+}
+
+/// Factory for the model families the paper compares (Sec. IV-A / Fig. 6),
+/// keyed so experiment configuration stays declarative.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelKind {
+    /// Ordinary least squares used as a scorer ("LinearR").
+    LinearR,
+    /// L2-regularized logistic regression ("LogisticR").
+    LogisticR {
+        /// Hyperparameters.
+        config: LogisticRegressionConfig,
+    },
+    /// Gradient boosted trees ("GB").
+    GradientBoosting {
+        /// Hyperparameters.
+        config: GradientBoostingConfig,
+    },
+    /// Random forest ("RF").
+    RandomForest {
+        /// Hyperparameters.
+        config: RandomForestConfig,
+    },
+    /// Linear SVM trained with Pegasos, probabilities via Platt scaling
+    /// ("SVM").
+    Svm {
+        /// Hyperparameters.
+        config: LinearSvmConfig,
+    },
+    /// A single CART tree (building block, also pluggable).
+    DecisionTree {
+        /// Hyperparameters.
+        config: DecisionTreeConfig,
+    },
+    /// The paper's proposed stack: RF + SVM fused through LogisticR
+    /// ("HybridRSL", Fig. 4).
+    HybridRsl {
+        /// Hyperparameters.
+        config: HybridRslConfig,
+    },
+}
+
+impl ModelKind {
+    /// Default-configured variants for each named family.
+    pub fn linear_r() -> Self {
+        ModelKind::LinearR
+    }
+
+    /// Logistic regression with defaults.
+    pub fn logistic_r() -> Self {
+        ModelKind::LogisticR {
+            config: LogisticRegressionConfig::default(),
+        }
+    }
+
+    /// Gradient boosting with defaults.
+    pub fn gradient_boosting() -> Self {
+        ModelKind::GradientBoosting {
+            config: GradientBoostingConfig::default(),
+        }
+    }
+
+    /// Random forest with defaults.
+    pub fn random_forest() -> Self {
+        ModelKind::RandomForest {
+            config: RandomForestConfig::default(),
+        }
+    }
+
+    /// Linear SVM with defaults.
+    pub fn svm() -> Self {
+        ModelKind::Svm {
+            config: LinearSvmConfig::default(),
+        }
+    }
+
+    /// HybridRSL with defaults.
+    pub fn hybrid_rsl() -> Self {
+        ModelKind::HybridRsl {
+            config: HybridRslConfig::default(),
+        }
+    }
+
+    /// Short display name matching the paper's legend labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::LinearR => "LinearR",
+            ModelKind::LogisticR { .. } => "LogisticR",
+            ModelKind::GradientBoosting { .. } => "GB",
+            ModelKind::RandomForest { .. } => "RF",
+            ModelKind::Svm { .. } => "SVM",
+            ModelKind::DecisionTree { .. } => "CART",
+            ModelKind::HybridRsl { .. } => "HybridRSL",
+        }
+    }
+
+    /// Instantiates an unfitted classifier; `seed` controls any internal
+    /// randomness (bootstraps, shuffles) for reproducibility.
+    pub fn build(&self, seed: u64) -> Box<dyn Classifier> {
+        match self {
+            ModelKind::LinearR => Box::new(LinearRegressionClassifier::default()),
+            ModelKind::LogisticR { config } => {
+                Box::new(LogisticRegression::with_config(config.clone()))
+            }
+            ModelKind::GradientBoosting { config } => {
+                Box::new(GradientBoosting::with_config(config.clone(), seed))
+            }
+            ModelKind::RandomForest { config } => {
+                Box::new(RandomForest::with_config(config.clone(), seed))
+            }
+            ModelKind::Svm { config } => Box::new(LinearSvm::with_config(config.clone(), seed)),
+            ModelKind::DecisionTree { config } => {
+                Box::new(DecisionTree::with_config(config.clone(), seed))
+            }
+            ModelKind::HybridRsl { config } => {
+                Box::new(HybridRsl::with_config(config.clone(), seed))
+            }
+        }
+    }
+}
+
+/// Shared helpers for the model implementations.
+pub(crate) mod util {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::error::MlError;
+    use crate::matrix::Matrix;
+
+    /// Numerically-stable logistic sigmoid.
+    #[inline]
+    pub fn sigmoid(z: f64) -> f64 {
+        if z >= 0.0 {
+            1.0 / (1.0 + (-z).exp())
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        }
+    }
+
+    /// Validates `fit` inputs and returns the positive count.
+    pub fn check_fit(x: &Matrix, y: &[u8]) -> Result<usize, MlError> {
+        if x.rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::DimensionMismatch {
+                samples: x.rows(),
+                labels: y.len(),
+            });
+        }
+        Ok(y.iter().filter(|&&v| v == 1).count())
+    }
+
+    /// Validates `predict` inputs against the trained feature count.
+    pub fn check_predict(x: &Matrix, trained_cols: Option<usize>) -> Result<usize, MlError> {
+        let cols = trained_cols.ok_or(MlError::NotFitted)?;
+        if x.cols() != cols {
+            return Err(MlError::FeatureMismatch {
+                expected: cols,
+                got: x.cols(),
+            });
+        }
+        Ok(cols)
+    }
+
+    /// Builds a class-balanced index list by oversampling the minority class
+    /// (leak labels are heavily imbalanced: a handful of leaky nodes out of
+    /// hundreds). Caps the oversampling factor at 10× to bound cost.
+    pub fn balanced_indices(y: &[u8], rng: &mut StdRng) -> Vec<usize> {
+        let pos: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 1).collect();
+        let neg: Vec<usize> = (0..y.len()).filter(|&i| y[i] == 0).collect();
+        if pos.is_empty() || neg.is_empty() {
+            return (0..y.len()).collect();
+        }
+        let (minority, majority) = if pos.len() < neg.len() {
+            (&pos, &neg)
+        } else {
+            (&neg, &pos)
+        };
+        let target = majority.len().min(minority.len() * 10);
+        let mut idx: Vec<usize> = majority.iter().chain(minority.iter()).copied().collect();
+        for _ in minority.len()..target {
+            idx.push(minority[rng.random_range(0..minority.len())]);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::util::*;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_fit_catches_mismatches() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert!(matches!(
+            check_fit(&x, &[1]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+        assert_eq!(check_fit(&x, &[1, 0]).unwrap(), 1);
+        let empty = Matrix::with_cols(1);
+        assert!(matches!(
+            check_fit(&empty, &[]),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn balanced_indices_oversample_minority() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut y = vec![0u8; 100];
+        y[3] = 1;
+        y[17] = 1;
+        let idx = balanced_indices(&y, &mut rng);
+        let pos = idx.iter().filter(|&&i| y[i] == 1).count();
+        // 2 minority samples oversampled up to 10x = 20.
+        assert_eq!(pos, 20);
+        assert_eq!(idx.iter().filter(|&&i| y[i] == 0).count(), 98);
+    }
+
+    #[test]
+    fn balanced_indices_identity_for_single_class() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = vec![0u8; 10];
+        assert_eq!(balanced_indices(&y, &mut rng).len(), 10);
+    }
+
+    #[test]
+    fn factory_names_match_paper_legend() {
+        assert_eq!(ModelKind::linear_r().name(), "LinearR");
+        assert_eq!(ModelKind::logistic_r().name(), "LogisticR");
+        assert_eq!(ModelKind::gradient_boosting().name(), "GB");
+        assert_eq!(ModelKind::random_forest().name(), "RF");
+        assert_eq!(ModelKind::svm().name(), "SVM");
+        assert_eq!(ModelKind::hybrid_rsl().name(), "HybridRSL");
+    }
+}

@@ -1,0 +1,65 @@
+//! Tiny dense SPD solver for the linear-model normal equations.
+//!
+//! Ridge-regularized normal equations are small (features × features), so a
+//! plain Cholesky factorization is the right tool.
+
+/// Solves `A x = b` for a symmetric positive definite `A` given in row-major
+/// full storage. Returns `None` if `A` is not positive definite.
+pub(crate) fn solve_spd(a: &[f64], n: usize, b: &[f64]) -> Option<Vec<f64>> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+        let a = [4.0, 1.0, 1.0, 3.0];
+        let x = solve_spd(&a, 2, &[1.0, 2.0]).unwrap();
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = [1.0, 0.0, 0.0, -1.0];
+        assert!(solve_spd(&a, 2, &[1.0, 1.0]).is_none());
+    }
+}

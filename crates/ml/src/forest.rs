@@ -1,0 +1,205 @@
+//! Random forest (the paper's "RF").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::classifier::util::{balanced_indices, check_fit, check_predict};
+use crate::classifier::Classifier;
+use crate::error::MlError;
+use crate::matrix::Matrix;
+use crate::tree::{Criterion, DecisionTreeConfig, GrownTree};
+
+/// Hyperparameters for [`RandomForest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomForestConfig {
+    /// Number of bagged trees.
+    pub n_trees: usize,
+    /// Per-tree growth parameters; `max_features = None` here means √d
+    /// (the forest default), unlike the standalone tree.
+    pub tree: DecisionTreeConfig,
+    /// Class-balance each bootstrap sample.
+    pub balance_classes: bool,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 25,
+            tree: DecisionTreeConfig {
+                max_depth: 10,
+                min_samples_split: 4,
+                max_features: None,
+                balance_classes: false, // balancing handled at the bootstrap
+            },
+            balance_classes: true,
+        }
+    }
+}
+
+/// A bagging ensemble of CART trees with √d feature subsampling.
+///
+/// The paper selects RF as one of the two HybridRSL base learners because it
+/// "remain[s] robust with decreasing number of IoT sensors".
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    config: RandomForestConfig,
+    seed: u64,
+    trees: Vec<GrownTree>,
+    n_features: Option<usize>,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest.
+    pub fn with_config(config: RandomForestConfig, seed: u64) -> Self {
+        RandomForest {
+            config,
+            seed,
+            trees: Vec::new(),
+            n_features: None,
+        }
+    }
+
+    /// Number of grown trees (after fit).
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        RandomForest::with_config(RandomForestConfig::default(), 0)
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), MlError> {
+        check_fit(x, y)?;
+        let targets: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let base: Vec<usize> = if self.config.balance_classes {
+            balanced_indices(y, &mut rng)
+        } else {
+            (0..y.len()).collect()
+        };
+        let sqrt_features = ((x.cols() as f64).sqrt().ceil() as usize).max(1);
+        let mut tree_config = self.config.tree.clone();
+        if tree_config.max_features.is_none() {
+            tree_config.max_features = Some(sqrt_features);
+        }
+
+        self.trees = (0..self.config.n_trees)
+            .map(|t| {
+                let mut tree_rng = StdRng::seed_from_u64(self.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+                // Bootstrap over the (balanced) base index set.
+                let sample: Vec<usize> = (0..base.len())
+                    .map(|_| base[tree_rng.random_range(0..base.len())])
+                    .collect();
+                GrownTree::grow(x, &targets, &sample, Criterion::Gini, &tree_config, &mut tree_rng)
+            })
+            .collect();
+        self.n_features = Some(x.cols());
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        if self.trees.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        check_predict(x, self.n_features)?;
+        Ok(x
+            .iter_rows()
+            .map(|row| {
+                self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>()
+                    / self.trees.len() as f64
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_data(n: usize) -> (Matrix, Vec<u8>) {
+        // Points inside radius 1 are positive — nonlinear boundary.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let a = (i as f64 * 0.7).sin() * 2.0;
+            let b = (i as f64 * 1.3).cos() * 2.0;
+            rows.push(vec![a, b]);
+            labels.push(u8::from(a * a + b * b < 1.0));
+        }
+        (Matrix::from_vec_rows(rows), labels)
+    }
+
+    #[test]
+    fn forest_learns_nonlinear_boundary() {
+        let (x, y) = ring_data(300);
+        let mut rf = RandomForest::default();
+        rf.fit(&x, &y).unwrap();
+        let pred = rf.predict(&x).unwrap();
+        let correct = pred.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(
+            correct as f64 / y.len() as f64 > 0.95,
+            "accuracy {}",
+            correct as f64 / y.len() as f64
+        );
+    }
+
+    #[test]
+    fn forest_probability_is_tree_average() {
+        let (x, y) = ring_data(100);
+        let mut rf = RandomForest::with_config(
+            RandomForestConfig {
+                n_trees: 7,
+                ..Default::default()
+            },
+            3,
+        );
+        rf.fit(&x, &y).unwrap();
+        assert_eq!(rf.tree_count(), 7);
+        for p in rf.predict_proba(&x).unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn forest_is_deterministic_per_seed() {
+        let (x, y) = ring_data(120);
+        let mut a = RandomForest::with_config(RandomForestConfig::default(), 5);
+        let mut b = RandomForest::with_config(RandomForestConfig::default(), 5);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+        let mut c = RandomForest::with_config(RandomForestConfig::default(), 6);
+        c.fit(&x, &y).unwrap();
+        assert_ne!(a.predict_proba(&x).unwrap(), c.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn unfitted_forest_errors() {
+        let x = Matrix::from_rows(&[&[0.0, 0.0]]);
+        assert_eq!(
+            RandomForest::default().predict_proba(&x),
+            Err(MlError::NotFitted)
+        );
+    }
+
+    #[test]
+    fn forest_beats_single_tree_out_of_sample() {
+        let (x, y) = ring_data(400);
+        let (xt, yt) = ring_data(397); // phase-shifted points, same law
+        let mut rf = RandomForest::default();
+        rf.fit(&x, &y).unwrap();
+        let rf_acc = rf
+            .predict(&xt)
+            .unwrap()
+            .iter()
+            .zip(&yt)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / yt.len() as f64;
+        assert!(rf_acc > 0.9, "rf out-of-sample accuracy {rf_acc}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Evaluation metrics, including the paper's Hamming score.
+
+/// The paper's Hamming score (Sec. V-B): per sample, the number of leak
+/// events correctly predicted divided by the union of predicted and true
+/// leak events — i.e. the Jaccard index of the positive sets:
+///
+/// `Σ_v 1[ŷ_v = 1 ∧ y_v = 1] / Σ_v 1[ŷ_v = 1 ∨ y_v = 1]`
+///
+/// Bounded by 1; a sample with neither predicted nor true leaks scores 1
+/// (perfect agreement on "no leak anywhere").
+///
+/// # Panics
+///
+/// Panics if the two label vectors differ in length.
+pub fn hamming_score_sample(pred: &[u8], truth: &[u8]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "label vectors must align");
+    let mut intersection = 0usize;
+    let mut union = 0usize;
+    for (&p, &t) in pred.iter().zip(truth) {
+        let p = p == 1;
+        let t = t == 1;
+        if p && t {
+            intersection += 1;
+        }
+        if p || t {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        intersection as f64 / union as f64
+    }
+}
+
+/// Mean Hamming score over samples. `pred[v][sample]` and
+/// `truth[v][sample]` are per-output label vectors (the layout produced by
+/// [`crate::MultiOutputModel::predict`]).
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions or zero samples.
+pub fn hamming_score(pred: &[Vec<u8>], truth: &[Vec<u8>]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "output counts must align");
+    assert!(!pred.is_empty(), "need at least one output");
+    let n_samples = pred[0].len();
+    assert!(n_samples > 0, "need at least one sample");
+    let mut total = 0.0;
+    for s in 0..n_samples {
+        let p: Vec<u8> = pred.iter().map(|v| v[s]).collect();
+        let t: Vec<u8> = truth.iter().map(|v| v[s]).collect();
+        total += hamming_score_sample(&p, &t);
+    }
+    total / n_samples as f64
+}
+
+/// Classification accuracy of one output.
+pub fn accuracy(pred: &[u8], truth: &[u8]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 1.0;
+    }
+    pred.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / pred.len() as f64
+}
+
+/// Precision, recall and F1 of the positive class; `(1, 1, 1)` conventions
+/// when the denominators are empty.
+pub fn precision_recall_f1(pred: &[u8], truth: &[u8]) -> (f64, f64, f64) {
+    assert_eq!(pred.len(), truth.len());
+    let tp = pred
+        .iter()
+        .zip(truth)
+        .filter(|(&p, &t)| p == 1 && t == 1)
+        .count() as f64;
+    let fp = pred
+        .iter()
+        .zip(truth)
+        .filter(|(&p, &t)| p == 1 && t == 0)
+        .count() as f64;
+    let fn_ = pred
+        .iter()
+        .zip(truth)
+        .filter(|(&p, &t)| p == 0 && t == 1)
+        .count() as f64;
+    let precision = if tp + fp == 0.0 { 1.0 } else { tp / (tp + fp) };
+    let recall = if tp + fn_ == 0.0 { 1.0 } else { tp / (tp + fn_) };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_sample_perfect_and_empty() {
+        assert_eq!(hamming_score_sample(&[1, 0, 1], &[1, 0, 1]), 1.0);
+        assert_eq!(hamming_score_sample(&[0, 0, 0], &[0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn hamming_sample_partial_overlap() {
+        // pred {0}, true {0, 2}: intersection 1, union 2.
+        assert_eq!(hamming_score_sample(&[1, 0, 0], &[1, 0, 1]), 0.5);
+        // pred {1}, true {2}: disjoint.
+        assert_eq!(hamming_score_sample(&[0, 1, 0], &[0, 0, 1]), 0.0);
+    }
+
+    #[test]
+    fn hamming_penalizes_false_positives() {
+        // Everything predicted positive, one true: 1/3.
+        assert!((hamming_score_sample(&[1, 1, 1], &[1, 0, 0]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_batch_averages_samples() {
+        // Layout: pred[v][sample].
+        let pred = vec![vec![1, 0], vec![0, 1]];
+        let truth = vec![vec![1, 1], vec![0, 1]];
+        // Sample 0: pred {0}, true {0} -> 1. Sample 1: pred {1}, true {0,1} -> 0.5.
+        assert!((hamming_score(&pred, &truth) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 0, 1, 1], &[1, 0, 0, 1]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn precision_recall_f1_on_known_case() {
+        // tp=1 (idx0), fp=1 (idx1), fn=1 (idx3).
+        let (p, r, f1) = precision_recall_f1(&[1, 1, 0, 0], &[1, 0, 0, 1]);
+        assert_eq!(p, 0.5);
+        assert_eq!(r, 0.5);
+        assert_eq!(f1, 0.5);
+    }
+
+    #[test]
+    fn degenerate_precision_recall_conventions() {
+        let (p, r, _) = precision_recall_f1(&[0, 0], &[0, 0]);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = hamming_score_sample(&[1], &[1, 0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Multi-output classification: one binary classifier per candidate leak
+//! node.
+//!
+//! "Due to the mutual independence of labels, the problem is then
+//! transformed to multiple binary classifications where a binary classifier
+//! is trained for each node independently" (Sec. III-B). Training is
+//! parallelized across outputs with scoped threads.
+
+use crossbeam::thread;
+
+use crate::classifier::{Classifier, ModelKind};
+use crate::error::MlError;
+use crate::matrix::Matrix;
+
+/// A bank of per-output binary classifiers sharing one feature matrix —
+/// the paper's profile model `f = {f_v : v ∈ V}` (Algorithm 1).
+pub struct MultiOutputModel {
+    kind: ModelKind,
+    models: Vec<Box<dyn Classifier>>,
+}
+
+impl std::fmt::Debug for MultiOutputModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiOutputModel")
+            .field("kind", &self.kind.name())
+            .field("outputs", &self.models.len())
+            .finish()
+    }
+}
+
+impl MultiOutputModel {
+    /// Trains one classifier of `kind` per output (Algorithm 1: `for v in V
+    /// do f_v.fit(...)`).
+    ///
+    /// `labels[v]` is the 0/1 label vector of output `v` over all samples.
+    /// `threads` caps the training parallelism (1 = sequential).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-output fit error.
+    pub fn fit(
+        kind: ModelKind,
+        x: &Matrix,
+        labels: &[Vec<u8>],
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, MlError> {
+        if labels.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        for y in labels {
+            if y.len() != x.rows() {
+                return Err(MlError::DimensionMismatch {
+                    samples: x.rows(),
+                    labels: y.len(),
+                });
+            }
+        }
+        let threads = threads.max(1).min(labels.len());
+        let n_out = labels.len();
+        let mut results: Vec<Option<Result<Box<dyn Classifier>, MlError>>> =
+            (0..n_out).map(|_| None).collect();
+
+        if threads == 1 {
+            for (v, slot) in results.iter_mut().enumerate() {
+                let mut model = kind.build(seed.wrapping_add(v as u64));
+                *slot = Some(model.fit(x, &labels[v]).map(|()| model));
+            }
+        } else {
+            let chunk = n_out.div_ceil(threads);
+            let kind_ref = &kind;
+            thread::scope(|s| {
+                for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+                    let base = t * chunk;
+                    s.spawn(move |_| {
+                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                            let v = base + off;
+                            let mut model = kind_ref.build(seed.wrapping_add(v as u64));
+                            *slot = Some(model.fit(x, &labels[v]).map(|()| model));
+                        }
+                    });
+                }
+            })
+            .expect("training threads do not panic");
+        }
+
+        let mut models = Vec::with_capacity(n_out);
+        for slot in results {
+            models.push(slot.expect("every output trained")?);
+        }
+        Ok(MultiOutputModel { kind, models })
+    }
+
+    /// The model family used for every output.
+    pub fn kind(&self) -> &ModelKind {
+        &self.kind
+    }
+
+    /// Number of outputs (candidate leak nodes).
+    pub fn outputs(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Per-output positive-class probabilities: `result[v][sample]`
+    /// (Algorithm 2's `predict_proba`).
+    pub fn predict_proba(&self, x: &Matrix) -> Result<Vec<Vec<f64>>, MlError> {
+        self.models.iter().map(|m| m.predict_proba(x)).collect()
+    }
+
+    /// Per-output hard predictions: `result[v][sample]` (Algorithm 2's
+    /// `predict`).
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<Vec<u8>>, MlError> {
+        self.models.iter().map(|m| m.predict(x)).collect()
+    }
+
+    /// Probabilities for a single sample across all outputs — the leak
+    /// probability vector `P = {p_v(1)}` Algorithm 2 manipulates.
+    pub fn predict_proba_one(&self, features: &[f64]) -> Result<Vec<f64>, MlError> {
+        let mut x = Matrix::with_cols(features.len());
+        x.push_row(features);
+        let per_output = self.predict_proba(&x)?;
+        Ok(per_output.into_iter().map(|v| v[0]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three outputs keyed to simple feature rules.
+    fn data(n: usize) -> (Matrix, Vec<Vec<u8>>) {
+        let mut rows = Vec::new();
+        let mut y0 = Vec::new();
+        let mut y1 = Vec::new();
+        let mut y2 = Vec::new();
+        for i in 0..n {
+            let a = (i as f64 * 0.17).sin();
+            let b = (i as f64 * 0.29).cos();
+            rows.push(vec![a, b]);
+            y0.push(u8::from(a > 0.0));
+            y1.push(u8::from(b > 0.0));
+            y2.push(u8::from(a + b > 0.0));
+        }
+        (Matrix::from_vec_rows(rows), vec![y0, y1, y2])
+    }
+
+    #[test]
+    fn fits_one_model_per_output() {
+        let (x, labels) = data(200);
+        let model =
+            MultiOutputModel::fit(ModelKind::logistic_r(), &x, &labels, 0, 1).unwrap();
+        assert_eq!(model.outputs(), 3);
+        let preds = model.predict(&x).unwrap();
+        for (v, y) in labels.iter().enumerate() {
+            let acc = preds[v].iter().zip(y).filter(|(a, b)| a == b).count() as f64
+                / y.len() as f64;
+            assert!(acc > 0.95, "output {v} accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let (x, labels) = data(150);
+        let seq = MultiOutputModel::fit(ModelKind::random_forest(), &x, &labels, 7, 1).unwrap();
+        let par = MultiOutputModel::fit(ModelKind::random_forest(), &x, &labels, 7, 4).unwrap();
+        assert_eq!(
+            seq.predict_proba(&x).unwrap(),
+            par.predict_proba(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn predict_proba_one_matches_batch() {
+        let (x, labels) = data(100);
+        let model =
+            MultiOutputModel::fit(ModelKind::logistic_r(), &x, &labels, 0, 2).unwrap();
+        let batch = model.predict_proba(&x).unwrap();
+        let single = model.predict_proba_one(x.row(5)).unwrap();
+        for v in 0..3 {
+            assert!((batch[v][5] - single[v]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn label_length_mismatch_rejected() {
+        let (x, mut labels) = data(50);
+        labels[1].pop();
+        assert!(matches!(
+            MultiOutputModel::fit(ModelKind::logistic_r(), &x, &labels, 0, 1),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_outputs_rejected() {
+        let (x, _) = data(10);
+        assert!(matches!(
+            MultiOutputModel::fit(ModelKind::logistic_r(), &x, &[], 0, 1),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+}

@@ -1,0 +1,434 @@
+//! CART decision trees (classification and regression).
+//!
+//! One implementation serves three consumers: the standalone
+//! [`DecisionTree`] classifier, the bagged trees inside
+//! [`crate::RandomForest`] and the regression trees inside
+//! [`crate::GradientBoosting`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::classifier::util::{balanced_indices, check_fit, check_predict};
+use crate::classifier::Classifier;
+use crate::error::MlError;
+use crate::matrix::Matrix;
+
+/// Hyperparameters for tree growth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node further.
+    pub min_samples_split: usize,
+    /// Number of features examined per split; `None` = all features
+    /// (random forests pass `Some(√d)`).
+    pub max_features: Option<usize>,
+    /// Oversample the minority class before growing (classification only).
+    pub balance_classes: bool,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        DecisionTreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+            max_features: None,
+            balance_classes: true,
+        }
+    }
+}
+
+/// A grown tree: flat node arena.
+#[derive(Debug, Clone)]
+pub(crate) enum TreeNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// The split criterion / leaf statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Criterion {
+    /// Gini impurity; leaves store the positive-class fraction.
+    Gini,
+    /// Variance reduction; leaves store the target mean.
+    Mse,
+}
+
+/// Internal grown-tree representation shared by all tree consumers.
+#[derive(Debug, Clone)]
+pub(crate) struct GrownTree {
+    nodes: Vec<TreeNode>,
+    pub(crate) n_features: usize,
+}
+
+impl GrownTree {
+    /// Grows a tree on `(x[indices], targets[indices])`.
+    pub(crate) fn grow(
+        x: &Matrix,
+        targets: &[f64],
+        indices: &[usize],
+        criterion: Criterion,
+        config: &DecisionTreeConfig,
+        rng: &mut StdRng,
+    ) -> GrownTree {
+        let mut tree = GrownTree {
+            nodes: Vec::new(),
+            n_features: x.cols(),
+        };
+        let root_indices: Vec<usize> = indices.to_vec();
+        tree.grow_node(x, targets, root_indices, criterion, config, rng, 0);
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow_node(
+        &mut self,
+        x: &Matrix,
+        targets: &[f64],
+        indices: Vec<usize>,
+        criterion: Criterion,
+        config: &DecisionTreeConfig,
+        rng: &mut StdRng,
+        depth: usize,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64;
+        let pure = indices
+            .iter()
+            .all(|&i| (targets[i] - targets[indices[0]]).abs() < 1e-12);
+        if depth >= config.max_depth || indices.len() < config.min_samples_split || pure {
+            let id = self.nodes.len();
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return id;
+        }
+
+        let best = self.best_split(x, targets, &indices, criterion, config, rng);
+        let Some((feature, threshold)) = best else {
+            let id = self.nodes.len();
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return id;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| x.get(i, feature) <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            let id = self.nodes.len();
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return id;
+        }
+
+        // Reserve the split slot, then grow children.
+        let id = self.nodes.len();
+        self.nodes.push(TreeNode::Leaf { value: mean }); // placeholder
+        let left = self.grow_node(x, targets, left_idx, criterion, config, rng, depth + 1);
+        let right = self.grow_node(x, targets, right_idx, criterion, config, rng, depth + 1);
+        self.nodes[id] = TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        id
+    }
+
+    fn best_split(
+        &self,
+        x: &Matrix,
+        targets: &[f64],
+        indices: &[usize],
+        criterion: Criterion,
+        config: &DecisionTreeConfig,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let d = x.cols();
+        let k = config.max_features.unwrap_or(d).clamp(1, d);
+        // Sample k distinct features (partial Fisher–Yates).
+        let mut features: Vec<usize> = (0..d).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..d);
+            features.swap(i, j);
+        }
+
+        let parent_score = impurity(targets, indices, criterion);
+        let n = indices.len() as f64;
+        let mut best: Option<(usize, f64, f64)> = None; // feature, threshold, gain
+        for &f in &features[..k] {
+            // Exact split search: sort once, sweep every boundary between
+            // distinct values with prefix sums — O(n log n) per feature.
+            let mut order: Vec<(f64, f64)> = indices
+                .iter()
+                .map(|&i| (x.get(i, f), targets[i]))
+                .collect();
+            order.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            let total_sum: f64 = order.iter().map(|(_, t)| t).sum();
+            let total_sumsq: f64 = order.iter().map(|(_, t)| t * t).sum();
+            let mut sum_left = 0.0f64;
+            let mut sumsq_left = 0.0f64;
+            for i in 0..order.len() - 1 {
+                sum_left += order[i].1;
+                sumsq_left += order[i].1 * order[i].1;
+                if order[i].0 == order[i + 1].0 {
+                    continue;
+                }
+                let nl = (i + 1) as f64;
+                let nr = n - nl;
+                let child = match criterion {
+                    Criterion::Gini => {
+                        let pl = sum_left / nl;
+                        let pr = (total_sum - sum_left) / nr;
+                        (nl / n) * 2.0 * pl * (1.0 - pl) + (nr / n) * 2.0 * pr * (1.0 - pr)
+                    }
+                    Criterion::Mse => {
+                        let ml = sum_left / nl;
+                        let vl = (sumsq_left / nl - ml * ml).max(0.0);
+                        let sr = total_sum - sum_left;
+                        let mr = sr / nr;
+                        let vr = ((total_sumsq - sumsq_left) / nr - mr * mr).max(0.0);
+                        (nl / n) * vl + (nr / n) * vr
+                    }
+                };
+                // Zero-gain splits are allowed (as in sklearn): on targets
+                // like XOR the informative split has zero immediate gain
+                // and only pays off one level deeper. Recursion still
+                // terminates because both children are strictly smaller.
+                let gain = (parent_score - child).max(0.0);
+                if best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                    best = Some((f, (order[i].0 + order[i + 1].0) / 2.0, gain));
+                }
+            }
+        }
+        best.map(|(f, th, _)| (f, th))
+    }
+
+    /// Predicted leaf value for one sample.
+    pub(crate) fn predict_one(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for tests).
+    #[cfg(test)]
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+fn impurity(targets: &[f64], indices: &[usize], criterion: Criterion) -> f64 {
+    let n = indices.len() as f64;
+    match criterion {
+        Criterion::Gini => {
+            let p = indices.iter().map(|&i| targets[i]).sum::<f64>() / n;
+            2.0 * p * (1.0 - p)
+        }
+        Criterion::Mse => {
+            let mean = indices.iter().map(|&i| targets[i]).sum::<f64>() / n;
+            indices
+                .iter()
+                .map(|&i| (targets[i] - mean) * (targets[i] - mean))
+                .sum::<f64>()
+                / n
+        }
+    }
+}
+
+/// A single CART classification tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    config: DecisionTreeConfig,
+    seed: u64,
+    tree: Option<GrownTree>,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree.
+    pub fn with_config(config: DecisionTreeConfig, seed: u64) -> Self {
+        DecisionTree {
+            config,
+            seed,
+            tree: None,
+        }
+    }
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        DecisionTree::with_config(DecisionTreeConfig::default(), 0)
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), MlError> {
+        check_fit(x, y)?;
+        let targets: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let indices = if self.config.balance_classes {
+            balanced_indices(y, &mut rng)
+        } else {
+            (0..y.len()).collect()
+        };
+        self.tree = Some(GrownTree::grow(
+            x,
+            &targets,
+            &indices,
+            Criterion::Gini,
+            &self.config,
+            &mut rng,
+        ));
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        let tree = self.tree.as_ref().ok_or(MlError::NotFitted)?;
+        check_predict(x, Some(tree.n_features))?;
+        Ok(x.iter_rows().map(|row| tree.predict_one(row)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<u8>) {
+        // XOR pattern: not linearly separable, solvable by a depth-2 tree
+        // only when zero-gain splits are allowed (the first split has no
+        // immediate impurity gain).
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            rows.push(vec![a, b]);
+            labels.push(u8::from((a > 0.5) != (b > 0.5)));
+        }
+        (Matrix::from_vec_rows(rows), labels)
+    }
+
+    #[test]
+    fn tree_learns_xor() {
+        let (x, y) = xor_data();
+        let mut clf = DecisionTree::with_config(
+            DecisionTreeConfig {
+                min_samples_split: 2,
+                ..Default::default()
+            },
+            0,
+        );
+        clf.fit(&x, &y).unwrap();
+        let pred = clf.predict(&x).unwrap();
+        let correct = pred.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert_eq!(correct, y.len(), "depth-2 tree solves XOR exactly");
+    }
+
+    #[test]
+    fn depth_one_tree_cannot_learn_xor() {
+        let (x, y) = xor_data();
+        let mut clf = DecisionTree::with_config(
+            DecisionTreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+            0,
+        );
+        clf.fit(&x, &y).unwrap();
+        let pred = clf.predict(&x).unwrap();
+        let correct = pred.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(correct < y.len(), "a stump must fail on XOR");
+    }
+
+    #[test]
+    fn pure_leaf_stops_growth() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = [0, 0, 0, 0];
+        let mut clf = DecisionTree::default();
+        clf.fit(&x, &y).unwrap();
+        assert_eq!(clf.tree.as_ref().unwrap().node_count(), 1);
+        assert!(clf.predict_proba(&x).unwrap().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn probabilities_reflect_leaf_composition() {
+        // Depth-1 stump on alternating labels: best split isolates the
+        // first sample; the right leaf stays mixed at 2/3 positive.
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = [0, 1, 0, 1];
+        let mut clf = DecisionTree::with_config(
+            DecisionTreeConfig {
+                max_depth: 1,
+                min_samples_split: 2,
+                balance_classes: false,
+                ..Default::default()
+            },
+            0,
+        );
+        clf.fit(&x, &y).unwrap();
+        let p = clf
+            .predict_proba(&Matrix::from_rows(&[&[-1.0], &[2.9]]))
+            .unwrap();
+        assert!((p[0] - 0.0).abs() < 1e-9, "pure left leaf: {}", p[0]);
+        assert!((p[1] - 2.0 / 3.0).abs() < 1e-9, "mixed right leaf: {}", p[1]);
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[10.0], &[11.0], &[12.0]]);
+        let targets = [1.0, 1.2, 0.8, 5.0, 5.2, 4.8];
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx: Vec<usize> = (0..6).collect();
+        let tree = GrownTree::grow(
+            &x,
+            &targets,
+            &idx,
+            Criterion::Mse,
+            &DecisionTreeConfig {
+                max_depth: 1,
+                min_samples_split: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!((tree.predict_one(&[1.0]) - 1.0).abs() < 0.2);
+        assert!((tree.predict_one(&[11.0]) - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_data();
+        let mut a = DecisionTree::with_config(DecisionTreeConfig::default(), 9);
+        let mut b = DecisionTree::with_config(DecisionTreeConfig::default(), 9);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(
+            DecisionTree::default().predict_proba(&x),
+            Err(MlError::NotFitted)
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for network construction and lookup.
+
+use std::fmt;
+
+/// Errors raised while building or querying a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A node or link name was used twice.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A referenced node id is out of range.
+    UnknownNode {
+        /// The offending dense index.
+        index: usize,
+    },
+    /// A referenced pattern id is out of range.
+    UnknownPattern {
+        /// The offending dense index.
+        index: usize,
+    },
+    /// A link connects a node to itself.
+    SelfLoop {
+        /// The link name.
+        name: String,
+    },
+    /// A physical parameter was out of its valid range.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::DuplicateName { name } => {
+                write!(f, "duplicate element name `{name}`")
+            }
+            NetError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            NetError::UnknownPattern { index } => write!(f, "unknown pattern index {index}"),
+            NetError::SelfLoop { name } => write!(f, "link `{name}` connects a node to itself"),
+            NetError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NetError::DuplicateName { name: "J1".into() };
+        assert!(e.to_string().contains("J1"));
+        let e = NetError::InvalidParameter {
+            what: "pipe diameter",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("pipe diameter"));
+        assert!(e.to_string().contains("-1"));
+    }
+}

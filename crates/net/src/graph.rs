@@ -1,0 +1,248 @@
+//! Graph algorithms over the network: adjacency, shortest paths,
+//! connectivity.
+//!
+//! The paper measures distance between nodes as "the shortest path between
+//! two nodes [where] the distance between two adjacent nodes is the length of
+//! the connection pipeline" (Sec. III-A); [`ShortestPaths`] implements
+//! exactly that metric via Dijkstra's algorithm with pipe lengths as edge
+//! weights.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::{LinkId, NodeId};
+use crate::network::Network;
+
+/// Per-node adjacency lists of `(link, neighbor)` pairs.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    neighbors: Vec<Vec<(LinkId, NodeId)>>,
+}
+
+impl Adjacency {
+    /// Builds the adjacency structure of a network (undirected).
+    pub fn build(net: &Network) -> Self {
+        let mut neighbors = vec![Vec::new(); net.node_count()];
+        for (lid, link) in net.iter_links() {
+            neighbors[link.from.index()].push((lid, link.to));
+            neighbors[link.to.index()].push((lid, link.from));
+        }
+        Adjacency { neighbors }
+    }
+
+    /// Links and neighbors incident to `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[(LinkId, NodeId)] {
+        &self.neighbors[node.index()]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors[node.index()].len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Returns the connected components as a vector of node-id groups.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.neighbors.len();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut comp = Vec::new();
+            seen[start] = true;
+            while let Some(u) = stack.pop() {
+                comp.push(NodeId::from_index(u));
+                for &(_, v) in &self.neighbors[u] {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        stack.push(v.index());
+                    }
+                }
+            }
+            comp.sort();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// Returns `true` if every node is reachable from every other node.
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance: reverse the comparison. Distances are finite
+        // non-NaN by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest-path distances by cumulative pipe length.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<f64>,
+}
+
+impl ShortestPaths {
+    /// Runs Dijkstra's algorithm from `source` using pipe lengths as edge
+    /// weights (pumps and valves count as zero-length edges). Closed links
+    /// still count as graph edges: the metric is geometric, not hydraulic.
+    pub fn from(net: &Network, adjacency: &Adjacency, source: NodeId) -> Self {
+        let n = adjacency.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[source.index()] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: source.index(),
+        });
+        while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(lid, v) in adjacency.neighbors(NodeId::from_index(u)) {
+                let w = net.link(lid).graph_length();
+                let nd = d + w;
+                if nd < dist[v.index()] {
+                    dist[v.index()] = nd;
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: v.index(),
+                    });
+                }
+            }
+        }
+        ShortestPaths { source, dist }
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance in meters from the source to `node` (`f64::INFINITY` if
+    /// unreachable).
+    pub fn distance_to(&self, node: NodeId) -> f64 {
+        self.dist[node.index()]
+    }
+
+    /// All distances indexed by node id.
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Nodes whose distance from the source lies in `[lo, hi)` meters.
+    pub fn nodes_in_ring(&self, lo: f64, hi: f64) -> Vec<NodeId> {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d >= lo && d < hi)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    /// R --100m-- A --200m-- B
+    ///            |          |
+    ///            +---50m----+   (A-B also joined by a 50 m shortcut)
+    fn diamond() -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new("g");
+        let r = net.add_reservoir("R", 100.0, (0.0, 0.0)).unwrap();
+        let a = net.add_junction("A", 10.0, 0.0, (100.0, 0.0)).unwrap();
+        let b = net.add_junction("B", 10.0, 0.0, (300.0, 0.0)).unwrap();
+        net.add_pipe("RA", r, a, 100.0, 0.3, 100.0).unwrap();
+        net.add_pipe("AB_long", a, b, 200.0, 0.3, 100.0).unwrap();
+        net.add_pipe("AB_short", a, b, 50.0, 0.3, 100.0).unwrap();
+        (net, r, a, b)
+    }
+
+    #[test]
+    fn dijkstra_prefers_short_parallel_pipe() {
+        let (net, r, a, b) = diamond();
+        let adj = net.adjacency();
+        let sp = ShortestPaths::from(&net, &adj, r);
+        assert_eq!(sp.distance_to(r), 0.0);
+        assert_eq!(sp.distance_to(a), 100.0);
+        assert_eq!(sp.distance_to(b), 150.0);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let (mut net, r, _, _) = diamond();
+        let lone = net.add_junction("L", 0.0, 0.0, (1e3, 1e3)).unwrap();
+        let adj = net.adjacency();
+        let sp = ShortestPaths::from(&net, &adj, r);
+        assert!(sp.distance_to(lone).is_infinite());
+    }
+
+    #[test]
+    fn rings_partition_reachable_nodes() {
+        let (net, r, a, b) = diamond();
+        let adj = net.adjacency();
+        let sp = ShortestPaths::from(&net, &adj, r);
+        assert_eq!(sp.nodes_in_ring(0.0, 1.0), vec![r]);
+        assert_eq!(sp.nodes_in_ring(50.0, 120.0), vec![a]);
+        assert_eq!(sp.nodes_in_ring(120.0, 1000.0), vec![b]);
+    }
+
+    #[test]
+    fn degree_counts_parallel_edges() {
+        let (net, r, a, b) = diamond();
+        let adj = net.adjacency();
+        assert_eq!(adj.degree(r), 1);
+        assert_eq!(adj.degree(a), 3);
+        assert_eq!(adj.degree(b), 2);
+    }
+
+    #[test]
+    fn connected_components_split_correctly() {
+        let (mut net, _, _, _) = diamond();
+        let x = net.add_junction("X", 0.0, 0.0, (0.0, 1.0)).unwrap();
+        let y = net.add_junction("Y", 0.0, 0.0, (0.0, 2.0)).unwrap();
+        net.add_pipe("XY", x, y, 10.0, 0.1, 100.0).unwrap();
+        let adj = net.adjacency();
+        let comps = adj.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert!(!adj.is_connected());
+        assert_eq!(comps[0].len(), 3);
+        assert_eq!(comps[1].len(), 2);
+    }
+
+    #[test]
+    fn single_component_network_is_connected() {
+        let (net, _, _, _) = diamond();
+        assert!(net.adjacency().is_connected());
+    }
+}

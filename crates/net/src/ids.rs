@@ -1,0 +1,80 @@
+//! Typed indices into a [`crate::Network`].
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node (junction, reservoir or tank) within a network.
+///
+/// Node ids are dense: they range over `0..network.node_count()` and can be
+/// used to index per-node result vectors produced by the hydraulic engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates a node id from a dense index.
+    ///
+    /// The caller is responsible for the index being in range for the network
+    /// it is used with; out-of-range ids cause panics on lookup.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+/// Index of a link (pipe, pump or valve) within a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// Returns the dense index of this link.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates a link id from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        LinkId(index)
+    }
+}
+
+/// Index of a demand pattern within a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PatternId(pub(crate) usize);
+
+impl PatternId {
+    /// Returns the dense index of this pattern.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        let id = NodeId::from_index(7);
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn link_id_round_trips_through_index() {
+        let id = LinkId::from_index(3);
+        assert_eq!(id.index(), 3);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(LinkId::from_index(0) < LinkId::from_index(9));
+    }
+}

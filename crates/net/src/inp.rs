@@ -1,0 +1,718 @@
+//! EPANET `.inp` file import/export.
+//!
+//! The paper's networks originate as EPANET input files (the canonical
+//! EPA-NET example ships with EPANET; WSSC-SUBNET was exported from utility
+//! GIS). This module reads and writes the subset of the INP format needed
+//! to exchange those networks: `[JUNCTIONS]`, `[RESERVOIRS]`, `[TANKS]`,
+//! `[PIPES]`, `[PUMPS]`, `[VALVES]`, `[CURVES]`, `[PATTERNS]`,
+//! `[COORDINATES]`, `[TITLE]` and `[OPTIONS]`.
+//!
+//! Units follow EPANET's SI convention: flow in LPS (liters per second),
+//! lengths/elevations/heads in meters, pipe diameters in **millimeters**,
+//! valve diameters in millimeters. Internally `aqua-net` stores everything
+//! in base SI (m³/s, meters), so the parser converts on the way in and the
+//! writer on the way out.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::NodeId;
+use crate::link::{LinkKind, LinkStatus, PumpCurve, ValveKind};
+use crate::network::Network;
+use crate::node::{NodeKind, Tank};
+use crate::pattern::Pattern;
+use crate::NetError;
+
+/// Errors raised while parsing an INP document.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum InpError {
+    /// A line did not have the fields its section requires.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A link references an unknown node, or a pump an unknown curve.
+    UnknownReference {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved name.
+        name: String,
+    },
+    /// The network construction rejected an element.
+    Net(NetError),
+    /// The file declares flow units this importer does not support.
+    UnsupportedUnits {
+        /// The declared units token.
+        units: String,
+    },
+}
+
+impl fmt::Display for InpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InpError::MalformedLine { line, context } => {
+                write!(f, "line {line}: malformed {context} entry")
+            }
+            InpError::BadNumber { line, token } => {
+                write!(f, "line {line}: `{token}` is not a number")
+            }
+            InpError::UnknownReference { line, name } => {
+                write!(f, "line {line}: unknown reference `{name}`")
+            }
+            InpError::Net(e) => write!(f, "network error: {e}"),
+            InpError::UnsupportedUnits { units } => {
+                write!(f, "unsupported flow units `{units}` (only LPS is supported)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InpError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetError> for InpError {
+    fn from(e: NetError) -> Self {
+        InpError::Net(e)
+    }
+}
+
+const LPS_TO_M3S: f64 = 1e-3;
+const MM_TO_M: f64 = 1e-3;
+
+/// Parses an INP document into a [`Network`].
+///
+/// # Errors
+///
+/// Returns [`InpError`] on malformed lines, unresolved references, or
+/// non-LPS flow units.
+pub fn parse_inp(text: &str) -> Result<Network, InpError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Section {
+        Title,
+        Junctions,
+        Reservoirs,
+        Tanks,
+        Pipes,
+        Pumps,
+        Valves,
+        Curves,
+        Patterns,
+        Coordinates,
+        Options,
+        Other,
+    }
+
+    struct PendingPump {
+        line: usize,
+        name: String,
+        from: String,
+        to: String,
+        curve: String,
+    }
+
+    let mut title = String::from("imported");
+    let mut section = Section::Other;
+    let mut net_nodes: Vec<(usize, String, Section, Vec<String>)> = Vec::new();
+    let mut pipes: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut pumps: Vec<PendingPump> = Vec::new();
+    let mut valves: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut curves: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+    let mut patterns: HashMap<String, Vec<f64>> = HashMap::new();
+    let mut pattern_order: Vec<String> = Vec::new();
+    let mut coordinates: HashMap<String, (f64, f64)> = HashMap::new();
+    let mut junction_patterns: Vec<(String, String)> = Vec::new();
+
+    let num = |line: usize, token: &str| -> Result<f64, InpError> {
+        token.parse::<f64>().map_err(|_| InpError::BadNumber {
+            line,
+            token: token.to_string(),
+        })
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = match line.to_ascii_uppercase().as_str() {
+                "[TITLE]" => Section::Title,
+                "[JUNCTIONS]" => Section::Junctions,
+                "[RESERVOIRS]" => Section::Reservoirs,
+                "[TANKS]" => Section::Tanks,
+                "[PIPES]" => Section::Pipes,
+                "[PUMPS]" => Section::Pumps,
+                "[VALVES]" => Section::Valves,
+                "[CURVES]" => Section::Curves,
+                "[PATTERNS]" => Section::Patterns,
+                "[COORDINATES]" => Section::Coordinates,
+                "[OPTIONS]" => Section::Options,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        let fields: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        match section {
+            Section::Title => {
+                title = line.to_string();
+                section = Section::Other; // only the first title line
+            }
+            Section::Options => {
+                if fields.len() >= 2 && fields[0].eq_ignore_ascii_case("units") {
+                    let units = fields[1].to_ascii_uppercase();
+                    if units != "LPS" {
+                        return Err(InpError::UnsupportedUnits { units });
+                    }
+                }
+            }
+            Section::Junctions | Section::Reservoirs | Section::Tanks => {
+                if fields.len() < 2 {
+                    return Err(InpError::MalformedLine {
+                        line: line_no,
+                        context: "node",
+                    });
+                }
+                net_nodes.push((line_no, fields[0].clone(), section, fields));
+            }
+            Section::Pipes => {
+                if fields.len() < 6 {
+                    return Err(InpError::MalformedLine {
+                        line: line_no,
+                        context: "pipe",
+                    });
+                }
+                pipes.push((line_no, fields));
+            }
+            Section::Pumps => {
+                // id node1 node2 HEAD curveid
+                if fields.len() < 5 || !fields[3].eq_ignore_ascii_case("head") {
+                    return Err(InpError::MalformedLine {
+                        line: line_no,
+                        context: "pump (only `HEAD <curve>` pumps supported)",
+                    });
+                }
+                pumps.push(PendingPump {
+                    line: line_no,
+                    name: fields[0].clone(),
+                    from: fields[1].clone(),
+                    to: fields[2].clone(),
+                    curve: fields[4].clone(),
+                });
+            }
+            Section::Valves => {
+                if fields.len() < 6 {
+                    return Err(InpError::MalformedLine {
+                        line: line_no,
+                        context: "valve",
+                    });
+                }
+                valves.push((line_no, fields));
+            }
+            Section::Curves => {
+                if fields.len() < 3 {
+                    return Err(InpError::MalformedLine {
+                        line: line_no,
+                        context: "curve",
+                    });
+                }
+                let x = num(line_no, &fields[1])?;
+                let y = num(line_no, &fields[2])?;
+                curves.entry(fields[0].clone()).or_default().push((x, y));
+            }
+            Section::Patterns => {
+                if fields.len() < 2 {
+                    return Err(InpError::MalformedLine {
+                        line: line_no,
+                        context: "pattern",
+                    });
+                }
+                let entry = patterns.entry(fields[0].clone()).or_default();
+                if entry.is_empty() {
+                    pattern_order.push(fields[0].clone());
+                }
+                for token in &fields[1..] {
+                    entry.push(num(line_no, token)?);
+                }
+            }
+            Section::Coordinates => {
+                if fields.len() < 3 {
+                    return Err(InpError::MalformedLine {
+                        line: line_no,
+                        context: "coordinate",
+                    });
+                }
+                coordinates.insert(
+                    fields[0].clone(),
+                    (num(line_no, &fields[1])?, num(line_no, &fields[2])?),
+                );
+            }
+            Section::Other => {}
+        }
+    }
+
+    let mut net = Network::new(title);
+
+    // Patterns first so junctions can reference them.
+    let mut pattern_ids = HashMap::new();
+    for name in &pattern_order {
+        let id = net.add_pattern(Pattern::new(name.clone(), patterns[name].clone(), 3600));
+        pattern_ids.insert(name.clone(), id);
+    }
+
+    let mut node_ids: HashMap<String, NodeId> = HashMap::new();
+    for (line_no, name, section, fields) in &net_nodes {
+        let xy = coordinates.get(name).copied().unwrap_or((0.0, 0.0));
+        let id = match section {
+            Section::Junctions => {
+                let elevation = num(*line_no, &fields[1])?;
+                let demand_lps = fields.get(2).map(|t| num(*line_no, t)).transpose()?;
+                if let Some(pat) = fields.get(3) {
+                    junction_patterns.push((name.clone(), pat.clone()));
+                }
+                net.add_junction(
+                    name.clone(),
+                    elevation,
+                    demand_lps.unwrap_or(0.0) * LPS_TO_M3S,
+                    xy,
+                )?
+            }
+            Section::Reservoirs => {
+                let head = num(*line_no, &fields[1])?;
+                net.add_reservoir(name.clone(), head, xy)?
+            }
+            Section::Tanks => {
+                // id elev initlvl minlvl maxlvl diam
+                if fields.len() < 6 {
+                    return Err(InpError::MalformedLine {
+                        line: *line_no,
+                        context: "tank",
+                    });
+                }
+                let elevation = num(*line_no, &fields[1])?;
+                let tank = Tank {
+                    init_level: num(*line_no, &fields[2])?,
+                    min_level: num(*line_no, &fields[3])?,
+                    max_level: num(*line_no, &fields[4])?,
+                    diameter: num(*line_no, &fields[5])?,
+                };
+                net.add_tank(name.clone(), elevation, tank, xy)?
+            }
+            _ => unreachable!("node sections only"),
+        };
+        node_ids.insert(name.clone(), id);
+    }
+
+    let resolve = |line: usize, name: &str, ids: &HashMap<String, NodeId>| {
+        ids.get(name).copied().ok_or_else(|| InpError::UnknownReference {
+            line,
+            name: name.to_string(),
+        })
+    };
+
+    for (line_no, fields) in &pipes {
+        // id node1 node2 length diameter roughness [minorloss] [status]
+        let from = resolve(*line_no, &fields[1], &node_ids)?;
+        let to = resolve(*line_no, &fields[2], &node_ids)?;
+        let length = num(*line_no, &fields[3])?;
+        let diameter = num(*line_no, &fields[4])? * MM_TO_M;
+        let roughness = num(*line_no, &fields[5])?;
+        let lid = net.add_pipe(fields[0].clone(), from, to, length, diameter, roughness)?;
+        if let Some(status) = fields.get(7).or(fields.get(6)) {
+            if status.eq_ignore_ascii_case("closed") {
+                net.set_link_status(lid, LinkStatus::Closed);
+            }
+        }
+    }
+
+    for pump in &pumps {
+        let from = resolve(pump.line, &pump.from, &node_ids)?;
+        let to = resolve(pump.line, &pump.to, &node_ids)?;
+        let points = curves.get(&pump.curve).ok_or_else(|| InpError::UnknownReference {
+            line: pump.line,
+            name: pump.curve.clone(),
+        })?;
+        // Single-point curve: EPANET's design-point convention. Flow in LPS.
+        let &(q_lps, head) = points.first().ok_or(InpError::MalformedLine {
+            line: pump.line,
+            context: "pump curve (empty)",
+        })?;
+        let curve = PumpCurve::from_design_point(q_lps * LPS_TO_M3S, head);
+        net.add_pump(pump.name.clone(), from, to, curve)?;
+    }
+
+    for (line_no, fields) in &valves {
+        // id node1 node2 diameter type setting
+        let from = resolve(*line_no, &fields[1], &node_ids)?;
+        let to = resolve(*line_no, &fields[2], &node_ids)?;
+        let diameter = num(*line_no, &fields[3])? * MM_TO_M;
+        let kind = match fields[4].to_ascii_uppercase().as_str() {
+            "TCV" => ValveKind::Tcv,
+            "FCV" => ValveKind::Fcv,
+            _ => {
+                return Err(InpError::MalformedLine {
+                    line: *line_no,
+                    context: "valve type (only TCV/FCV supported)",
+                })
+            }
+        };
+        let setting = num(*line_no, &fields[5])?;
+        net.add_valve(fields[0].clone(), from, to, kind, diameter, setting)?;
+    }
+
+    for (junction, pattern) in &junction_patterns {
+        let node = node_ids[junction];
+        let pat = pattern_ids
+            .get(pattern)
+            .copied()
+            .ok_or_else(|| InpError::UnknownReference {
+                line: 0,
+                name: pattern.clone(),
+            })?;
+        net.set_junction_pattern(node, pat)?;
+    }
+
+    Ok(net)
+}
+
+/// Serializes a [`Network`] to INP text (LPS units, SI lengths, mm
+/// diameters). The output round-trips through [`parse_inp`].
+pub fn write_inp(net: &Network) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "[TITLE]\n{}\n", net.name());
+    let _ = writeln!(out, "[OPTIONS]\n UNITS LPS\n HEADLOSS H-W\n");
+
+    let _ = writeln!(out, "[JUNCTIONS]\n;ID\tElev\tDemand\tPattern");
+    let mut pattern_of: HashMap<usize, String> = HashMap::new();
+    for (_, node) in net.iter_nodes() {
+        if let NodeKind::Junction(j) = &node.kind {
+            let pattern = j
+                .pattern
+                .map(|p| net.pattern(p).name.clone())
+                .unwrap_or_default();
+            if let Some(p) = j.pattern {
+                pattern_of.insert(p.index(), net.pattern(p).name.clone());
+            }
+            let _ = writeln!(
+                out,
+                " {}\t{:.3}\t{:.6}\t{}",
+                node.name,
+                node.elevation,
+                j.base_demand / LPS_TO_M3S,
+                pattern
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n[RESERVOIRS]\n;ID\tHead");
+    for (_, node) in net.iter_nodes() {
+        if let NodeKind::Reservoir(r) = &node.kind {
+            let _ = writeln!(out, " {}\t{:.3}", node.name, r.head);
+        }
+    }
+
+    let _ = writeln!(out, "\n[TANKS]\n;ID\tElev\tInitLvl\tMinLvl\tMaxLvl\tDiam");
+    for (_, node) in net.iter_nodes() {
+        if let NodeKind::Tank(t) = &node.kind {
+            let _ = writeln!(
+                out,
+                " {}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+                node.name, node.elevation, t.init_level, t.min_level, t.max_level, t.diameter
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\n[PIPES]\n;ID\tNode1\tNode2\tLength\tDiam\tRough\tMinor\tStatus"
+    );
+    for (_, link) in net.iter_links() {
+        if let LinkKind::Pipe(p) = &link.kind {
+            let status = match link.status {
+                LinkStatus::Open => "Open",
+                LinkStatus::Closed => "Closed",
+            };
+            let _ = writeln!(
+                out,
+                " {}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{}",
+                link.name,
+                net.node(link.from).name,
+                net.node(link.to).name,
+                p.length,
+                p.diameter / MM_TO_M,
+                p.roughness,
+                p.minor_loss,
+                status
+            );
+        }
+    }
+
+    // Pumps reference one generated single-point curve each.
+    let _ = writeln!(out, "\n[PUMPS]\n;ID\tNode1\tNode2\tParameters");
+    let mut pump_curves: Vec<(String, f64, f64)> = Vec::new();
+    for (_, link) in net.iter_links() {
+        if let LinkKind::Pump(p) = &link.kind {
+            let curve_name = format!("C-{}", link.name);
+            // Recover the design point: h_design = 3/4 h0, q_design from it.
+            let h_design = p.curve.shutoff_head * 0.75;
+            let q_design = ((p.curve.shutoff_head - h_design) / p.curve.coeff)
+                .powf(1.0 / p.curve.exponent);
+            pump_curves.push((curve_name.clone(), q_design / LPS_TO_M3S, h_design));
+            let _ = writeln!(
+                out,
+                " {}\t{}\t{}\tHEAD {}",
+                link.name,
+                net.node(link.from).name,
+                net.node(link.to).name,
+                curve_name
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n[VALVES]\n;ID\tNode1\tNode2\tDiam\tType\tSetting");
+    for (_, link) in net.iter_links() {
+        if let LinkKind::Valve(v) = &link.kind {
+            let kind = match v.kind {
+                ValveKind::Tcv => "TCV",
+                ValveKind::Fcv => "FCV",
+            };
+            let _ = writeln!(
+                out,
+                " {}\t{}\t{}\t{:.3}\t{}\t{:.4}",
+                link.name,
+                net.node(link.from).name,
+                net.node(link.to).name,
+                v.diameter / MM_TO_M,
+                kind,
+                v.setting
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n[CURVES]\n;ID\tX\tY");
+    for (name, q, h) in &pump_curves {
+        let _ = writeln!(out, " {name}\t{q:.4}\t{h:.4}");
+    }
+
+    let _ = writeln!(out, "\n[PATTERNS]\n;ID\tMultipliers");
+    let mut seen = std::collections::HashSet::new();
+    for (_, node) in net.iter_nodes() {
+        if let NodeKind::Junction(j) = &node.kind {
+            if let Some(p) = j.pattern {
+                if seen.insert(p.index()) {
+                    let pat = net.pattern(p);
+                    for chunk in pat.multipliers().chunks(6) {
+                        let values: Vec<String> =
+                            chunk.iter().map(|m| format!("{m:.4}")).collect();
+                        let _ = writeln!(out, " {}\t{}", pat.name, values.join("\t"));
+                    }
+                }
+            }
+        }
+    }
+
+    let _ = writeln!(out, "\n[COORDINATES]\n;Node\tX\tY");
+    for (_, node) in net.iter_nodes() {
+        let _ = writeln!(out, " {}\t{:.2}\t{:.2}", node.name, node.x, node.y);
+    }
+
+    let _ = writeln!(out, "\n[END]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    const SMALL_INP: &str = "
+[TITLE]
+two-loop demo
+
+[OPTIONS]
+ UNITS LPS
+
+[JUNCTIONS]
+;ID  Elev  Demand  Pattern
+ J1  50.0  2.0     P1
+ J2  45.0  1.5
+
+[RESERVOIRS]
+ R1  120.0
+
+[TANKS]
+ T1  80.0  3.0  0.5  6.0  12.0
+
+[PIPES]
+;ID  N1  N2  Len    Diam  Rough
+ P-1 R1  J1  800.0  300   130
+ P-2 J1  J2  400.0  200   120
+ P-3 J2  T1  500.0  250   125  0.0  Closed
+
+[PUMPS]
+ PU1 R1 J2 HEAD C1
+
+[VALVES]
+ V1  J1  J2  200  TCV  5.0
+
+[CURVES]
+ C1  100  40
+
+[PATTERNS]
+ P1  0.5  1.0  1.5
+ P1  1.0
+
+[COORDINATES]
+ J1  100  0
+ J2  200  0
+ R1  0    0
+ T1  300  0
+";
+
+    #[test]
+    fn parses_small_network() {
+        let net = parse_inp(SMALL_INP).unwrap();
+        assert_eq!(net.name(), "two-loop demo");
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.pipe_count(), 3);
+        assert_eq!(net.pump_count(), 1);
+        assert_eq!(net.valve_count(), 1);
+        let j1 = net.node_by_name("J1").unwrap();
+        assert_eq!(net.node(j1).elevation, 50.0);
+        // 2 LPS = 0.002 m³/s, pattern multiplier 0.5 at t=0.
+        assert!((net.demand_at(j1, 0) - 0.001).abs() < 1e-12);
+        // Pattern wraps 4 entries.
+        assert!((net.demand_at(j1, 3 * 3600) - 0.002).abs() < 1e-12);
+        // Pipe diameter mm -> m.
+        let p1 = net.link_by_name("P-1").unwrap();
+        assert!((net.link(p1).as_pipe().unwrap().diameter - 0.3).abs() < 1e-12);
+        // Status parsed.
+        let p3 = net.link_by_name("P-3").unwrap();
+        assert_eq!(net.link(p3).status, LinkStatus::Closed);
+        // Pump curve from the single design point (100 LPS, 40 m).
+        let pu = net.link_by_name("PU1").unwrap();
+        let curve = &net.link(pu).as_pump().unwrap().curve;
+        assert!((curve.head_gain(0.1) - 40.0).abs() < 1e-9);
+        // Coordinates attached.
+        assert_eq!(net.node(j1).x, 100.0);
+    }
+
+    #[test]
+    fn parsed_network_is_solvable() {
+        use aqua_hydraulics_check::check_solves;
+        // (aqua-net cannot depend on aqua-hydraulics; the solvability check
+        // lives in the integration tests. Here: structural sanity only.)
+        mod aqua_hydraulics_check {
+            use crate::Network;
+            pub fn check_solves(net: &Network) -> bool {
+                net.adjacency().is_connected() && !net.fixed_head_ids().is_empty()
+            }
+        }
+        let net = parse_inp(SMALL_INP).unwrap();
+        assert!(check_solves(&net));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = synth::epa_net();
+        let text = write_inp(&original);
+        let parsed = parse_inp(&text).unwrap();
+        assert_eq!(parsed.node_count(), original.node_count());
+        assert_eq!(parsed.pipe_count(), original.pipe_count());
+        assert_eq!(parsed.pump_count(), original.pump_count());
+        assert_eq!(parsed.valve_count(), original.valve_count());
+        assert_eq!(parsed.tank_count(), original.tank_count());
+        assert_eq!(parsed.reservoir_count(), original.reservoir_count());
+        // Spot-check attribute fidelity.
+        for name in ["J0-0", "J5-3", "T1", "R1"] {
+            let a = original.node_by_name(name).unwrap();
+            let b = parsed.node_by_name(name).unwrap();
+            assert!(
+                (original.node(a).elevation - parsed.node(b).elevation).abs() < 1e-3,
+                "{name} elevation"
+            );
+        }
+        // Demands round-trip (within the 1e-6 LPS print precision).
+        let a = original.node_by_name("J3-3").unwrap();
+        let b = parsed.node_by_name("J3-3").unwrap();
+        let da = original.demand_at(a, 0);
+        let db = parsed.demand_at(b, 0);
+        assert!((da - db).abs() < 1e-6, "demand {da} vs {db}");
+    }
+
+    #[test]
+    fn round_trip_preserves_pump_curves() {
+        let original = synth::epa_net();
+        let parsed = parse_inp(&write_inp(&original)).unwrap();
+        let pu = original.link_by_name("PU1").unwrap();
+        let pu2 = parsed.link_by_name("PU1").unwrap();
+        let c1 = &original.link(pu).as_pump().unwrap().curve;
+        let c2 = &parsed.link(pu2).as_pump().unwrap().curve;
+        for q in [0.0, 0.05, 0.1, 0.14] {
+            assert!(
+                (c1.head_gain(q) - c2.head_gain(q)).abs() < 0.05,
+                "pump head at q={q}: {} vs {}",
+                c1.head_gain(q),
+                c2.head_gain(q)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_node_reference() {
+        let bad = "[JUNCTIONS]\n J1 10 0\n[RESERVOIRS]\n R1 50\n[PIPES]\n P1 J1 GHOST 10 200 100\n";
+        assert!(matches!(
+            parse_inp(bad),
+            Err(InpError::UnknownReference { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let bad = "[JUNCTIONS]\n J1 not-a-number 0\n";
+        assert!(matches!(parse_inp(bad), Err(InpError::BadNumber { .. })));
+    }
+
+    #[test]
+    fn rejects_non_lps_units() {
+        let bad = "[OPTIONS]\n UNITS GPM\n";
+        assert!(matches!(
+            parse_inp(bad),
+            Err(InpError::UnsupportedUnits { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "
+; leading comment
+[JUNCTIONS]
+ J1 10 0  ; trailing comment
+
+[RESERVOIRS]
+ R1 50
+[PIPES]
+ P1 R1 J1 100 200 130
+";
+        let net = parse_inp(text).unwrap();
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.pipe_count(), 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Water distribution network model for the AquaSCALE framework.
+//!
+//! This crate provides the static description of a community water network:
+//! nodes (junctions, reservoirs, tanks), links (pipes, pumps, valves), demand
+//! patterns and pump curves, together with graph algorithms (shortest paths
+//! by pipe length, connectivity) and deterministic synthetic network
+//! generators matching the two networks evaluated in the paper:
+//!
+//! * [`synth::epa_net`] — the canonical EPANET example network (96 nodes,
+//!   118 pipes, 2 pumps, 1 valve, 3 tanks, 2 water sources);
+//! * [`synth::wssc_subnet`] — a synthetic twin of the WSSC service-area
+//!   subzone (299 nodes, 316 pipes, 2 valves, 1 water source).
+//!
+//! All quantities are SI: meters, cubic meters per second, seconds.
+//!
+//! # Example
+//!
+//! ```
+//! use aqua_net::synth;
+//!
+//! let net = synth::epa_net();
+//! assert_eq!(net.node_count(), 96);
+//! assert_eq!(net.pipe_count(), 118);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod ids;
+pub mod inp;
+mod link;
+mod network;
+mod node;
+mod pattern;
+pub mod synth;
+
+pub use error::NetError;
+pub use graph::{Adjacency, ShortestPaths};
+pub use ids::{LinkId, NodeId, PatternId};
+pub use link::{Link, LinkKind, LinkStatus, Pipe, Pump, PumpCurve, Valve, ValveKind};
+pub use network::Network;
+pub use node::{Junction, Node, NodeKind, Reservoir, Tank};
+pub use pattern::Pattern;

@@ -1,0 +1,371 @@
+//! Configurable looped-grid network generator.
+//!
+//! Real distribution networks are approximately planar grids of streets with
+//! a spanning backbone plus redundancy loops. The builder produces exactly
+//! `junctions - 1 + loop_edges` junction-to-junction pipes, which lets the
+//! EPA-NET / WSSC-SUBNET generators hit the paper's element counts exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::NodeId;
+use crate::network::Network;
+use crate::pattern::Pattern;
+
+/// Result of building a grid network: the network plus the junction ids in
+/// row-major cell order (skipped cells omitted).
+#[derive(Debug, Clone)]
+pub struct GridNetwork {
+    /// The generated network (junctions and pipes only; sources, tanks,
+    /// pumps and valves are added by the caller).
+    pub network: Network,
+    /// Junction ids in row-major `(row * columns + column)` order.
+    pub junctions: Vec<NodeId>,
+}
+
+/// Builder for [`GridNetwork`]s.
+///
+/// # Example
+///
+/// ```
+/// use aqua_net::synth::GridNetworkBuilder;
+///
+/// let grid = GridNetworkBuilder::new("demo")
+///     .columns(4)
+///     .rows(3)
+///     .loop_edges(2)
+///     .build();
+/// assert_eq!(grid.junctions.len(), 12);
+/// // Spanning tree (11 edges) + 2 loops:
+/// assert_eq!(grid.network.pipe_count(), 13);
+/// assert!(grid.network.adjacency().is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridNetworkBuilder {
+    name: String,
+    columns: usize,
+    rows: usize,
+    spacing: f64,
+    skip: Vec<(usize, usize)>,
+    loop_edges: usize,
+    base_demand: f64,
+    elevation_base: f64,
+    elevation_relief: f64,
+    seed: u64,
+    diurnal: bool,
+    diameters: Vec<f64>,
+    arterial_diameter: f64,
+}
+
+impl GridNetworkBuilder {
+    /// Starts a builder with 4×4 cells, 300 m spacing and no loops.
+    pub fn new(name: impl Into<String>) -> Self {
+        GridNetworkBuilder {
+            name: name.into(),
+            columns: 4,
+            rows: 4,
+            spacing: 300.0,
+            skip: Vec::new(),
+            loop_edges: 0,
+            base_demand: 0.002,
+            elevation_base: 50.0,
+            elevation_relief: 10.0,
+            seed: 42,
+            diurnal: true,
+            diameters: vec![0.15, 0.2, 0.25, 0.3, 0.4],
+            arterial_diameter: 0.6,
+        }
+    }
+
+    /// Number of grid columns (≥ 2).
+    pub fn columns(mut self, columns: usize) -> Self {
+        self.columns = columns;
+        self
+    }
+
+    /// Number of grid rows (≥ 1).
+    pub fn rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Distance between adjacent grid cells in meters.
+    pub fn spacing_m(mut self, spacing: f64) -> Self {
+        self.spacing = spacing;
+        self
+    }
+
+    /// Cells `(column, row)` to leave out of the grid.
+    pub fn skip_cells(mut self, cells: &[(usize, usize)]) -> Self {
+        self.skip = cells.to_vec();
+        self
+    }
+
+    /// Number of redundancy loop edges beyond the spanning tree.
+    pub fn loop_edges(mut self, loop_edges: usize) -> Self {
+        self.loop_edges = loop_edges;
+        self
+    }
+
+    /// Mean junction base demand in m³/s.
+    pub fn base_demand_m3s(mut self, demand: f64) -> Self {
+        self.base_demand = demand;
+        self
+    }
+
+    /// Mean ground elevation in meters.
+    pub fn elevation_base_m(mut self, elevation: f64) -> Self {
+        self.elevation_base = elevation;
+        self
+    }
+
+    /// Amplitude of the smooth elevation relief in meters.
+    pub fn elevation_relief_m(mut self, relief: f64) -> Self {
+        self.elevation_relief = relief;
+        self
+    }
+
+    /// RNG seed controlling demands, elevations and pipe attributes.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether junctions get the residential diurnal pattern (default true).
+    pub fn diurnal_demands(mut self, diurnal: bool) -> Self {
+        self.diurnal = diurnal;
+        self
+    }
+
+    /// Pipe diameter palette in meters (sampled uniformly per pipe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diameters` is empty.
+    pub fn diameters_m(mut self, diameters: &[f64]) -> Self {
+        assert!(!diameters.is_empty(), "need at least one diameter");
+        self.diameters = diameters.to_vec();
+        self
+    }
+
+    /// Diameter (m) of the arterial mains: the spanning-tree trunk along
+    /// row 0 and column 0 that distributes flow to the rest of the grid
+    /// (real networks run large transmission mains along a few corridors).
+    pub fn arterial_diameter_m(mut self, diameter: f64) -> Self {
+        self.arterial_diameter = diameter;
+        self
+    }
+
+    /// Builds the grid network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has fewer than 2 live cells or if `loop_edges`
+    /// exceeds the number of available redundant grid edges.
+    pub fn build(self) -> GridNetwork {
+        assert!(self.columns >= 2 && self.rows >= 1, "grid too small");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut net = Network::new(self.name.clone());
+        let pattern = self
+            .diurnal
+            .then(|| net.add_pattern(Pattern::residential_diurnal("residential")));
+
+        // Cell (c, r) -> junction id (None for skipped cells).
+        let mut cell: Vec<Option<NodeId>> = vec![None; self.columns * self.rows];
+        let mut junctions = Vec::new();
+        for r in 0..self.rows {
+            for c in 0..self.columns {
+                if self.skip.contains(&(c, r)) {
+                    continue;
+                }
+                let x = c as f64 * self.spacing + rng.random_range(-15.0..15.0);
+                let y = r as f64 * self.spacing + rng.random_range(-15.0..15.0);
+                let relief = self.elevation_relief
+                    * ((x / 1100.0).sin() * (y / 900.0).cos() + 0.3 * (x / 430.0).cos());
+                let elevation = self.elevation_base + relief + rng.random_range(-1.5..1.5);
+                let demand = self.base_demand * rng.random_range(0.4..1.8);
+                let id = net
+                    .add_junction(format!("J{}-{}", c, r), elevation, demand, (x, y))
+                    .expect("grid junction names are unique");
+                if let Some(p) = pattern {
+                    net.set_junction_pattern(id, p).expect("junction");
+                }
+                cell[r * self.columns + c] = Some(id);
+                junctions.push(id);
+            }
+        }
+        assert!(junctions.len() >= 2, "grid too small");
+
+        // Candidate grid edges in deterministic order: verticals first, then
+        // horizontals row by row. The first spanning-tree pass consumes
+        // edges greedily with union-find; leftovers become loop candidates.
+        let mut candidates: Vec<(NodeId, NodeId, bool)> = Vec::new();
+        for c in 0..self.columns {
+            for r in 0..self.rows.saturating_sub(1) {
+                if let (Some(a), Some(b)) = (
+                    cell[r * self.columns + c],
+                    cell[(r + 1) * self.columns + c],
+                ) {
+                    candidates.push((a, b, c == 0));
+                }
+            }
+        }
+        for r in 0..self.rows {
+            for c in 0..self.columns - 1 {
+                if let (Some(a), Some(b)) =
+                    (cell[r * self.columns + c], cell[r * self.columns + c + 1])
+                {
+                    candidates.push((a, b, r == 0));
+                }
+            }
+        }
+
+        let mut uf = UnionFind::new(net.node_count());
+        let mut leftovers = Vec::new();
+        let mut pipe_no = 0;
+        let diameters = self.diameters.clone();
+        let arterial = self.arterial_diameter;
+        let mut add_pipe =
+            |net: &mut Network, a: NodeId, b: NodeId, main: bool, rng: &mut StdRng| {
+                pipe_no += 1;
+                let length = self.spacing * rng.random_range(0.92..1.08);
+                let diameter = if main {
+                    arterial
+                } else {
+                    diameters[rng.random_range(0..diameters.len())]
+                };
+                let roughness = rng.random_range(100.0..140.0);
+                net.add_pipe(format!("P{pipe_no}"), a, b, length, diameter, roughness)
+                    .expect("grid pipe");
+            };
+        for (a, b, main) in candidates {
+            if uf.union(a.index(), b.index()) {
+                add_pipe(&mut net, a, b, main, &mut rng);
+            } else {
+                leftovers.push((a, b));
+            }
+        }
+        assert!(
+            self.loop_edges <= leftovers.len(),
+            "requested {} loop edges but only {} redundant grid edges exist",
+            self.loop_edges,
+            leftovers.len()
+        );
+        // Spread loop edges evenly across the grid.
+        if self.loop_edges > 0 {
+            let stride = leftovers.len() as f64 / self.loop_edges as f64;
+            for k in 0..self.loop_edges {
+                let (a, b) = leftovers[(k as f64 * stride) as usize];
+                add_pipe(&mut net, a, b, false, &mut rng);
+            }
+        }
+
+        GridNetwork {
+            network: net,
+            junctions,
+        }
+    }
+}
+
+/// Minimal union-find for spanning-tree construction.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were separate.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_count_is_tree_plus_loops() {
+        for (cols, rows, loops) in [(4, 3, 0), (5, 5, 6), (10, 2, 3)] {
+            let grid = GridNetworkBuilder::new("g")
+                .columns(cols)
+                .rows(rows)
+                .loop_edges(loops)
+                .build();
+            let junctions = cols * rows;
+            assert_eq!(grid.network.pipe_count(), junctions - 1 + loops);
+            assert!(grid.network.adjacency().is_connected());
+        }
+    }
+
+    #[test]
+    fn skipped_cells_are_absent() {
+        let grid = GridNetworkBuilder::new("g")
+            .columns(4)
+            .rows(3)
+            .skip_cells(&[(3, 2)])
+            .build();
+        assert_eq!(grid.junctions.len(), 11);
+        assert_eq!(grid.network.pipe_count(), 10);
+        assert!(grid.network.adjacency().is_connected());
+    }
+
+    #[test]
+    fn build_is_deterministic_for_same_seed() {
+        let a = GridNetworkBuilder::new("g").seed(7).loop_edges(3).build();
+        let b = GridNetworkBuilder::new("g").seed(7).loop_edges(3).build();
+        assert_eq!(a.network.nodes(), b.network.nodes());
+        assert_eq!(a.network.links(), b.network.links());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GridNetworkBuilder::new("g").seed(7).build();
+        let b = GridNetworkBuilder::new("g").seed(8).build();
+        assert_ne!(a.network.nodes(), b.network.nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "loop edges")]
+    fn too_many_loops_panics() {
+        let _ = GridNetworkBuilder::new("g")
+            .columns(2)
+            .rows(2)
+            .loop_edges(100)
+            .build();
+    }
+
+    #[test]
+    fn union_find_detects_cycles() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.find(0), uf.find(3));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests on network construction, graph algorithms and INP
+//! round-tripping.
+
+use aqua_net::synth::GridNetworkBuilder;
+use aqua_net::{inp, ShortestPaths};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Grid generation invariants: element counts, connectivity, and the
+    /// spanning-tree + loops pipe formula, for arbitrary shapes and seeds.
+    #[test]
+    fn grid_invariants(cols in 2usize..10, rows in 2usize..8, loops in 0usize..8, seed in 0u64..500) {
+        let max_loops = (cols - 1) * (rows - 1);
+        let loops = loops.min(max_loops);
+        let grid = GridNetworkBuilder::new("prop")
+            .columns(cols)
+            .rows(rows)
+            .loop_edges(loops)
+            .seed(seed)
+            .build();
+        let net = &grid.network;
+        prop_assert_eq!(net.node_count(), cols * rows);
+        prop_assert_eq!(net.pipe_count(), cols * rows - 1 + loops);
+        prop_assert!(net.adjacency().is_connected());
+        // Every pipe has physical parameters.
+        for link in net.links() {
+            let pipe = link.as_pipe().expect("grid links are pipes");
+            prop_assert!(pipe.length > 0.0 && pipe.diameter > 0.0 && pipe.roughness > 0.0);
+        }
+    }
+
+    /// Dijkstra distances satisfy the triangle inequality over observed
+    /// paths and are symmetric between endpoints.
+    #[test]
+    fn shortest_path_metric_properties(cols in 3usize..8, rows in 3usize..6, seed in 0u64..200) {
+        let grid = GridNetworkBuilder::new("prop")
+            .columns(cols)
+            .rows(rows)
+            .loop_edges(2)
+            .seed(seed)
+            .build();
+        let net = &grid.network;
+        let adjacency = net.adjacency();
+        let a = grid.junctions[0];
+        let b = grid.junctions[grid.junctions.len() / 2];
+        let from_a = ShortestPaths::from(net, &adjacency, a);
+        let from_b = ShortestPaths::from(net, &adjacency, b);
+        // Symmetry of the metric.
+        prop_assert!((from_a.distance_to(b) - from_b.distance_to(a)).abs() < 1e-9);
+        // Triangle inequality through any junction c.
+        for &c in grid.junctions.iter().step_by(5) {
+            prop_assert!(
+                from_a.distance_to(b) <= from_a.distance_to(c) + from_b.distance_to(c) + 1e-9
+            );
+        }
+        // Identity.
+        prop_assert_eq!(from_a.distance_to(a), 0.0);
+    }
+
+    /// INP round trip preserves structure for arbitrary generated networks.
+    #[test]
+    fn inp_round_trip(cols in 2usize..7, rows in 2usize..6, seed in 0u64..100) {
+        let grid = GridNetworkBuilder::new("prop")
+            .columns(cols)
+            .rows(rows)
+            .loop_edges(1)
+            .seed(seed)
+            .build();
+        let mut net = grid.network;
+        let head = net.nodes().iter().map(|n| n.elevation).fold(f64::MIN, f64::max) + 50.0;
+        let r = net.add_reservoir("SRC", head, (-100.0, -100.0)).unwrap();
+        net.add_pipe("MAIN", r, grid.junctions[0], 100.0, 0.4, 130.0).unwrap();
+
+        let text = inp::write_inp(&net);
+        let parsed = inp::parse_inp(&text).unwrap();
+        prop_assert_eq!(parsed.node_count(), net.node_count());
+        prop_assert_eq!(parsed.pipe_count(), net.pipe_count());
+        prop_assert!(parsed.adjacency().is_connected());
+        // Demand fidelity at an arbitrary junction and time.
+        let j = grid.junctions[grid.junctions.len() - 1];
+        let name = net.node(j).name.clone();
+        let j2 = parsed.node_by_name(&name).unwrap();
+        for t in [0u64, 7 * 3600, 19 * 3600] {
+            prop_assert!((net.demand_at(j, t) - parsed.demand_at(j2, t)).abs() < 1e-6);
+        }
+    }
+}

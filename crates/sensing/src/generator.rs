@@ -1,0 +1,394 @@
+//! Failure-scenario sampling and training-set generation (Phase I input).
+//!
+//! "For each simulation run, there is at least one and at most 5 leak
+//! events, and the number of events follows the uniform distribution i.e.
+//! U(1,5). The leak events are generated with arbitrary locations and sizes
+//! but same starting time … The change on pressure heads and flow rates is
+//! then computed by taking the differences between the sensing values at
+//! e.t−1 and e.t+n." (Sec. V-A)
+
+use std::fmt;
+
+use aqua_hydraulics::{
+    solve_snapshot, ExtendedPeriodSim, HydraulicError, LeakEvent, Scenario, Snapshot,
+    SolverOptions,
+};
+use aqua_net::{Network, NodeId};
+use aqua_ml::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::features::{extract_features, FeatureConfig};
+use crate::sensor::SensorSet;
+
+/// Errors from dataset generation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SensingError {
+    /// The underlying hydraulic solve failed.
+    Hydraulic(HydraulicError),
+    /// The network has no junctions to leak at.
+    NoJunctions,
+}
+
+impl fmt::Display for SensingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensingError::Hydraulic(e) => write!(f, "hydraulic failure: {e}"),
+            SensingError::NoJunctions => write!(f, "network has no junctions"),
+        }
+    }
+}
+
+impl std::error::Error for SensingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SensingError::Hydraulic(e) => Some(e),
+            SensingError::NoJunctions => None,
+        }
+    }
+}
+
+impl From<HydraulicError> for SensingError {
+    fn from(e: HydraulicError) -> Self {
+        SensingError::Hydraulic(e)
+    }
+}
+
+/// Draws random multi-leak scenarios: `U(1, max_events)` concurrent leaks at
+/// distinct random junctions with sizes `U(ec_range)`, all starting at
+/// `leak_start`.
+#[derive(Debug, Clone)]
+pub struct ScenarioSampler {
+    junctions: Vec<NodeId>,
+    /// Maximum concurrent leak events (paper: 5).
+    pub max_events: usize,
+    /// Emitter-coefficient range (leak size `e.s`).
+    pub ec_range: (f64, f64),
+    /// Leak start time `e.t`, seconds.
+    pub leak_start: u64,
+}
+
+impl ScenarioSampler {
+    /// Creates a sampler over the junctions of `net` with the paper's
+    /// defaults: up to 5 events, start at the 8th 15-minute slot.
+    pub fn new(net: &Network) -> Self {
+        ScenarioSampler {
+            junctions: net.junction_ids(),
+            max_events: 5,
+            ec_range: (0.002, 0.02),
+            leak_start: 8 * 900,
+        }
+    }
+
+    /// Draws one scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no junctions.
+    pub fn sample(&self, rng: &mut StdRng) -> Scenario {
+        assert!(!self.junctions.is_empty(), "no junctions to leak at");
+        let m = rng.random_range(1..=self.max_events.min(self.junctions.len()));
+        // Partial Fisher–Yates for m distinct locations.
+        let mut pool: Vec<NodeId> = self.junctions.clone();
+        let mut leaks = Vec::with_capacity(m);
+        for i in 0..m {
+            let j = rng.random_range(i..pool.len());
+            pool.swap(i, j);
+            let ec = rng.random_range(self.ec_range.0..self.ec_range.1);
+            leaks.push(LeakEvent::new(pool[i], ec, self.leak_start));
+        }
+        Scenario::new().with_leaks(leaks)
+    }
+}
+
+/// A generated training/testing corpus.
+#[derive(Debug, Clone)]
+pub struct LeakDataset {
+    /// Feature matrix: one row per scenario.
+    pub x: Matrix,
+    /// Per-junction label vectors: `labels[v][sample] = 1` iff junction
+    /// `junctions[v]` leaks in that scenario.
+    pub labels: Vec<Vec<u8>>,
+    /// The candidate leak locations, aligned with `labels`.
+    pub junctions: Vec<NodeId>,
+    /// The sampled scenarios (ground truth for evaluation).
+    pub scenarios: Vec<Scenario>,
+}
+
+impl LeakDataset {
+    /// True label vector of one sample across junctions.
+    pub fn truth_of_sample(&self, sample: usize) -> Vec<u8> {
+        self.labels.iter().map(|v| v[sample]).collect()
+    }
+}
+
+/// Builder for [`LeakDataset`]s: pairs a network with a sensor deployment
+/// and generation options, then mass-produces scenario rows (in parallel).
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder<'a> {
+    net: &'a Network,
+    sensors: SensorSet,
+    sampler: ScenarioSampler,
+    features: FeatureConfig,
+    solver: SolverOptions,
+    /// Elapsed slots `n` after the leak before the "after" reading is taken.
+    elapsed_slots: u64,
+    /// Hydraulic step / sampling interval, seconds.
+    step: u64,
+}
+
+impl<'a> DatasetBuilder<'a> {
+    /// Creates a builder with the paper's defaults (15-minute sampling,
+    /// reading taken one slot after the leak).
+    pub fn new(net: &'a Network, sensors: SensorSet) -> Self {
+        DatasetBuilder {
+            net,
+            sensors,
+            sampler: ScenarioSampler::new(net),
+            features: FeatureConfig::default(),
+            solver: SolverOptions::default(),
+            elapsed_slots: 1,
+            step: 900,
+        }
+    }
+
+    /// Sets the maximum number of concurrent leak events (`U(1, max)`).
+    pub fn max_events(mut self, max_events: usize) -> Self {
+        self.sampler.max_events = max_events.max(1);
+        self
+    }
+
+    /// Sets the emitter-coefficient (leak size) range.
+    pub fn ec_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        self.sampler.ec_range = (lo, hi);
+        self
+    }
+
+    /// Sets the number of elapsed sampling slots `n` after the leak.
+    pub fn elapsed_slots(mut self, n: u64) -> Self {
+        self.elapsed_slots = n.max(1);
+        self
+    }
+
+    /// Sets the feature-extraction options.
+    pub fn feature_config(mut self, features: FeatureConfig) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Sets the hydraulic solver options.
+    pub fn solver_options(mut self, solver: SolverOptions) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The sensor deployment in use.
+    pub fn sensors(&self) -> &SensorSet {
+        &self.sensors
+    }
+
+    /// Pre-event and post-event snapshots for one scenario.
+    ///
+    /// Tank levels for both instants come from a leak-free baseline EPS
+    /// (cached by the caller via `baseline`): leaks shorter than a few
+    /// hours barely move community-scale tank trajectories, and this keeps
+    /// per-sample cost at two snapshot solves instead of a full EPS.
+    fn snapshots_for(
+        &self,
+        scenario: &Scenario,
+        baseline: &aqua_hydraulics::EpsResult,
+    ) -> Result<(Snapshot, Snapshot), SensingError> {
+        let t_before = self.sampler.leak_start - self.step;
+        let t_after = self.sampler.leak_start + self.elapsed_slots * self.step;
+        let mut with_tanks = scenario.clone();
+        let levels_at = |t: u64| -> Vec<(NodeId, f64)> {
+            let idx = (t / self.step) as usize;
+            let idx = idx.min(baseline.tank_levels.len().saturating_sub(1));
+            baseline
+                .tank_ids
+                .iter()
+                .cloned()
+                .zip(baseline.tank_levels[idx].iter().cloned())
+                .collect()
+        };
+        with_tanks.tank_levels = levels_at(t_before);
+        let before = solve_snapshot(self.net, &with_tanks, t_before, &self.solver)?;
+        with_tanks.tank_levels = levels_at(t_after);
+        let after = solve_snapshot(self.net, &with_tanks, t_after, &self.solver)?;
+        Ok((before, after))
+    }
+
+    /// Runs the leak-free baseline EPS covering the sampling window.
+    pub fn baseline(&self) -> Result<aqua_hydraulics::EpsResult, SensingError> {
+        let horizon = self.sampler.leak_start + (self.elapsed_slots + 1) * self.step;
+        Ok(
+            ExtendedPeriodSim::new(self.net, Scenario::default(), self.solver.clone())
+                .with_step(self.step)
+                .run(horizon)?,
+        )
+    }
+
+    /// Generates `n_samples` scenario rows. Sample `i` is driven by seed
+    /// `seed + i`, so the corpus is identical for any `threads` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first hydraulic failure encountered.
+    pub fn build(
+        &self,
+        n_samples: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<LeakDataset, SensingError> {
+        if self.sampler.junctions.is_empty() {
+            return Err(SensingError::NoJunctions);
+        }
+        let baseline = self.baseline()?;
+        let threads = threads.max(1).min(n_samples.max(1));
+
+        let mut rows: Vec<Option<Result<(Vec<f64>, Scenario), SensingError>>> =
+            (0..n_samples).map(|_| None).collect();
+        let worker = |i: usize| -> Result<(Vec<f64>, Scenario), SensingError> {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            let scenario = self.sampler.sample(&mut rng);
+            let (before, after) = self.snapshots_for(&scenario, &baseline)?;
+            let features = extract_features(
+                self.net,
+                &self.sensors,
+                &before,
+                &after,
+                &self.features,
+                &mut rng,
+            );
+            Ok((features, scenario))
+        };
+
+        if threads == 1 {
+            for (i, slot) in rows.iter_mut().enumerate() {
+                *slot = Some(worker(i));
+            }
+        } else {
+            let chunk = n_samples.div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                for (t, slots) in rows.chunks_mut(chunk).enumerate() {
+                    let worker = &worker;
+                    s.spawn(move |_| {
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            *slot = Some(worker(t * chunk + off));
+                        }
+                    });
+                }
+            })
+            .expect("dataset workers do not panic");
+        }
+
+        let mut x: Option<Matrix> = None;
+        let mut scenarios = Vec::with_capacity(n_samples);
+        for slot in rows {
+            let (features, scenario) = slot.expect("all samples generated")?;
+            x.get_or_insert_with(|| Matrix::with_cols(features.len()))
+                .push_row(&features);
+            scenarios.push(scenario);
+        }
+        let x = x.expect("n_samples >= 1");
+
+        let junctions = self.sampler.junctions.clone();
+        let t_active = self.sampler.leak_start;
+        let labels: Vec<Vec<u8>> = junctions
+            .iter()
+            .map(|&j| {
+                scenarios
+                    .iter()
+                    .map(|sc| u8::from(sc.true_leak_nodes(t_active).contains(&j)))
+                    .collect()
+            })
+            .collect();
+
+        Ok(LeakDataset {
+            x,
+            labels,
+            junctions,
+            scenarios,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_net::synth;
+
+    #[test]
+    fn sampler_respects_event_bounds() {
+        let net = synth::epa_net();
+        let sampler = ScenarioSampler::new(&net);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let s = sampler.sample(&mut rng);
+            let n = s.leaks.len();
+            assert!((1..=5).contains(&n), "events {n}");
+            // Distinct locations, same start.
+            let nodes = s.true_leak_nodes(sampler.leak_start);
+            assert_eq!(nodes.len(), n, "locations must be distinct");
+            assert!(s.leaks.iter().all(|l| l.start == sampler.leak_start));
+            for l in &s.leaks {
+                assert!(l.coefficient >= 0.002 && l.coefficient < 0.02);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_rows_align_with_scenarios_and_labels() {
+        let net = synth::epa_net();
+        let builder = DatasetBuilder::new(&net, SensorSet::full(&net)).max_events(3);
+        let ds = builder.build(20, 7, 1).unwrap();
+        assert_eq!(ds.x.rows(), 20);
+        assert_eq!(ds.scenarios.len(), 20);
+        assert_eq!(ds.labels.len(), net.junction_ids().len());
+        for (i, sc) in ds.scenarios.iter().enumerate() {
+            let truth = ds.truth_of_sample(i);
+            let n_pos = truth.iter().filter(|&&v| v == 1).count();
+            assert_eq!(n_pos, sc.true_leak_nodes(8 * 900).len());
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let net = synth::epa_net();
+        let builder = DatasetBuilder::new(&net, SensorSet::full(&net));
+        let a = builder.build(12, 3, 1).unwrap();
+        let b = builder.build(12, 3, 4).unwrap();
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn features_respond_to_leaks() {
+        // With noiseless full observation, at least one pressure delta must
+        // be clearly negative in every sample (a leak drops pressure).
+        let net = synth::epa_net();
+        let cfg = FeatureConfig {
+            noise: crate::MeasurementNoise::none(),
+            include_topology: false,
+        };
+        let builder = DatasetBuilder::new(&net, SensorSet::full(&net))
+            .feature_config(cfg)
+            .ec_range(0.01, 0.02);
+        let ds = builder.build(10, 1, 1).unwrap();
+        for i in 0..ds.x.rows() {
+            let min = ds.x.row(i).iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!(min < -0.005, "sample {i} min delta {min}");
+        }
+    }
+
+    #[test]
+    fn wssc_dataset_generates() {
+        let net = synth::wssc_subnet();
+        let builder = DatasetBuilder::new(&net, SensorSet::random_fraction(&net, 0.2, 1));
+        let ds = builder.build(5, 11, 2).unwrap();
+        assert_eq!(ds.x.rows(), 5);
+        assert_eq!(ds.labels.len(), 298);
+    }
+}

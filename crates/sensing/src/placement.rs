@@ -1,0 +1,243 @@
+//! Sensor placement by *k*-medoids (PAM).
+//!
+//! "Given the number of available devices, we use k-medoids algorithm to
+//! select a group of locations as the sensor set … k-medoids partitions
+//! |V| + |E| potential sensor locations into [a] certain number of clusters
+//! and assigns cluster centers as the sensor locations, based on the
+//! pressure head and flow rate read from nodes and pipes." (Sec. IV-A)
+//!
+//! Each candidate location is described by its baseline hydraulic signature
+//! — a day of pressure (nodes) or flow (links) readings — standardized per
+//! channel so the two unit systems are commensurable.
+
+use aqua_hydraulics::{ExtendedPeriodSim, HydraulicError, Scenario, SolverOptions};
+use aqua_net::{LinkId, Network, NodeId};
+
+use crate::sensor::SensorSet;
+
+/// Options for [`k_medoids_placement`].
+#[derive(Debug, Clone)]
+pub struct PlacementConfig {
+    /// Signature sampling step, seconds (default hourly).
+    pub step: u64,
+    /// Signature duration, seconds (default one day).
+    pub duration: u64,
+    /// Maximum PAM swap iterations.
+    pub max_iterations: usize,
+    /// Solver options used for the baseline run.
+    pub solver: SolverOptions,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            step: 3600,
+            duration: 23 * 3600,
+            max_iterations: 30,
+            solver: SolverOptions::default(),
+        }
+    }
+}
+
+/// Selects `k` sensor locations among all `|V| + |E|` candidates by PAM
+/// k-medoids over baseline hydraulic signatures. Node medoids become
+/// pressure sensors, link medoids become flow meters.
+///
+/// Deterministic: PAM is seeded with evenly spaced candidates.
+///
+/// # Errors
+///
+/// Propagates hydraulic failures from the baseline simulation.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of candidates.
+pub fn k_medoids_placement(
+    net: &Network,
+    k: usize,
+    config: &PlacementConfig,
+) -> Result<SensorSet, HydraulicError> {
+    let n_candidates = net.node_count() + net.link_count();
+    assert!(
+        k >= 1 && k <= n_candidates,
+        "k must be in [1, {n_candidates}]"
+    );
+
+    // Baseline signatures from one extended-period run.
+    let eps = ExtendedPeriodSim::new(net, Scenario::default(), config.solver.clone())
+        .with_step(config.step);
+    let result = eps.run(config.duration)?;
+    let t_steps = result.snapshots.len();
+
+    let mut signatures: Vec<Vec<f64>> = Vec::with_capacity(n_candidates);
+    for i in 0..net.node_count() {
+        let node = NodeId::from_index(i);
+        signatures.push(result.snapshots.iter().map(|s| s.pressure(node)).collect());
+    }
+    for i in 0..net.link_count() {
+        let link = LinkId::from_index(i);
+        signatures.push(result.snapshots.iter().map(|s| s.flow(link)).collect());
+    }
+
+    // Standardize each time channel across candidates of the same type so
+    // pressure (m) and flow (m³/s) live on comparable scales.
+    standardize(&mut signatures, 0, net.node_count(), t_steps);
+    standardize(&mut signatures, net.node_count(), n_candidates, t_steps);
+
+    let medoids = pam(&signatures, k, config.max_iterations);
+
+    let mut set = SensorSet::empty();
+    for m in medoids {
+        if m < net.node_count() {
+            set.pressure_nodes.push(NodeId::from_index(m));
+        } else {
+            set.flow_links.push(LinkId::from_index(m - net.node_count()));
+        }
+    }
+    set.pressure_nodes.sort();
+    set.flow_links.sort();
+    Ok(set)
+}
+
+fn standardize(signatures: &mut [Vec<f64>], lo: usize, hi: usize, t_steps: usize) {
+    if hi <= lo {
+        return;
+    }
+    let n = (hi - lo) as f64;
+    for t in 0..t_steps {
+        let mean: f64 = signatures[lo..hi].iter().map(|s| s[t]).sum::<f64>() / n;
+        let var: f64 = signatures[lo..hi]
+            .iter()
+            .map(|s| (s[t] - mean) * (s[t] - mean))
+            .sum::<f64>()
+            / n;
+        let std = var.sqrt().max(1e-9);
+        for s in &mut signatures[lo..hi] {
+            s[t] = (s[t] - mean) / std;
+        }
+    }
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Alternating (Voronoi-iteration) k-medoids with deterministic spaced
+/// initialization: assign every point to its nearest medoid, then replace
+/// each medoid with the cluster member minimizing total intra-cluster
+/// distance. `O(n·k + Σ|cluster|²)` per iteration, which keeps the
+/// %-IoT-observation sweeps (k up to |V|+|E|) tractable where full PAM's
+/// `O(k²n²)` swap search would not be.
+fn pam(points: &[Vec<f64>], k: usize, max_iterations: usize) -> Vec<usize> {
+    let n = points.len();
+    let mut medoids: Vec<usize> = (0..k).map(|i| i * n / k).collect();
+    for _ in 0..max_iterations {
+        // Assignment step.
+        let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for p in 0..n {
+            let nearest = medoids
+                .iter()
+                .enumerate()
+                .map(|(ci, &m)| (ci, dist2(&points[p], &points[m])))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("k >= 1")
+                .0;
+            clusters[nearest].push(p);
+        }
+        // Update step: per-cluster 1-medoid problem.
+        let mut changed = false;
+        for (ci, members) in clusters.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .iter()
+                .map(|&cand| {
+                    let total: f64 = members
+                        .iter()
+                        .map(|&p| dist2(&points[p], &points[cand]))
+                        .sum();
+                    (cand, total)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("non-empty cluster")
+                .0;
+            if medoids[ci] != best {
+                medoids[ci] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Guarantee distinctness (duplicate medoids can only arise from empty
+    // clusters keeping a stale index that another cluster adopted).
+    let mut seen = vec![false; n];
+    for m in &mut medoids {
+        if seen[*m] {
+            *m = (0..n).find(|&c| !seen[c]).expect("k <= n");
+        }
+        seen[*m] = true;
+    }
+    medoids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_net::synth;
+
+    #[test]
+    fn pam_finds_obvious_clusters() {
+        // Three tight 1-D clusters; k = 3 medoids must land one in each.
+        let mut pts = Vec::new();
+        for c in [0.0, 100.0, 200.0] {
+            for i in 0..5 {
+                pts.push(vec![c + i as f64 * 0.1]);
+            }
+        }
+        let medoids = pam(&pts, 3, 20);
+        let mut centers: Vec<f64> = medoids.iter().map(|&m| pts[m][0]).collect();
+        centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(centers[0] < 10.0);
+        assert!((centers[1] - 100.0).abs() < 10.0);
+        assert!(centers[2] > 190.0);
+    }
+
+    #[test]
+    fn pam_returns_distinct_medoids() {
+        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let medoids = pam(&pts, 5, 20);
+        let mut sorted = medoids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn placement_returns_requested_count_and_mixes_types() {
+        let net = synth::epa_net();
+        let k = 30;
+        let set = k_medoids_placement(&net, k, &PlacementConfig::default()).unwrap();
+        assert_eq!(set.len(), k);
+        // With standardized signatures both sensor types should appear.
+        assert!(!set.pressure_nodes.is_empty(), "no pressure sensors chosen");
+        assert!(!set.flow_links.is_empty(), "no flow meters chosen");
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let net = synth::epa_net();
+        let a = k_medoids_placement(&net, 12, &PlacementConfig::default()).unwrap();
+        let b = k_medoids_placement(&net, 12, &PlacementConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn zero_k_panics() {
+        let net = synth::epa_net();
+        let _ = k_medoids_placement(&net, 0, &PlacementConfig::default());
+    }
+}

@@ -1,0 +1,82 @@
+//! Detection-time race: enumeration through the calibrated simulator (the
+//! utility practice the paper's introduction critiques) versus AquaSCALE's
+//! Phase-II inference on the same observation.
+//!
+//! Run with: `cargo run --release --example detection_race`
+
+use aquascale::core::baseline::{full_enumeration_count, EnumerationBaseline};
+use aquascale::core::{AquaScale, AquaScaleConfig, ExternalObservations};
+use aquascale::ml::ModelKind;
+use aquascale::net::synth;
+use aquascale::sensing::{FeatureConfig, MeasurementNoise, SensorSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = synth::epa_net();
+    let sensors = SensorSet::full(&net);
+
+    // Phase I (offline, amortized across every future event).
+    let config = AquaScaleConfig {
+        model: ModelKind::hybrid_rsl(),
+        sensors: Some(sensors.clone()),
+        train_samples: 1_000,
+        max_events: 2,
+        features: FeatureConfig {
+            noise: MeasurementNoise::none(),
+            include_topology: false,
+        },
+        threads: 8,
+        ..Default::default()
+    };
+    let aqua = AquaScale::new(&net, config);
+    println!("Phase I: training profile (offline, done once)...");
+    let profile = aqua.train_profile()?;
+    println!("  profile trained in {:?}\n", profile.training_time);
+
+    // A live event arrives.
+    let test = aqua.generate_dataset(1, 4242)?;
+    let observed = test.x.row(0);
+    let truth = test.truth_of_sample(0);
+    let true_nodes: Vec<&str> = truth
+        .iter()
+        .enumerate()
+        .filter(|(_, &y)| y == 1)
+        .map(|(v, _)| net.node(test.junctions[v]).name.as_str())
+        .collect();
+    println!("live event: true leaks at {true_nodes:?}");
+
+    // Contender 1: AquaSCALE Phase II.
+    let inference = aqua.infer(&profile, observed, &ExternalObservations::none())?;
+    println!(
+        "\nAquaSCALE Phase II: {:?} -> {:?}",
+        inference.latency,
+        inference
+            .leak_nodes
+            .iter()
+            .map(|j| net.node(*j).name.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    // Contender 2: greedy enumeration over (node, size) candidates.
+    let baseline = EnumerationBaseline::new(&net, sensors);
+    let result = baseline.localize(observed, 8 * 900, 2)?;
+    println!(
+        "enumeration baseline: {:?} ({} simulations) -> {:?}",
+        result.elapsed,
+        result.simulations,
+        result
+            .leak_nodes
+            .iter()
+            .map(|j| net.node(*j).name.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    let speedup = result.elapsed.as_secs_f64() / inference.latency.as_secs_f64().max(1e-9);
+    println!("\nspeedup: {speedup:.0}x (and the greedy baseline is itself a");
+    println!("concession — exhaustive enumeration of 5 concurrent leaks would");
+    println!(
+        "need {:.1e} simulations on EPA-NET and {:.1e} on WSSC-SUBNET)",
+        full_enumeration_count(91, 5, 4),
+        full_enumeration_count(298, 5, 4)
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Sensor placement study: k-medoids (the paper's method, Sec. IV-A) versus
+//! uniform random deployment at equal device budgets.
+//!
+//! Run with: `cargo run --release --example sensor_placement`
+
+use aquascale::core::experiment::{Experiment, SourceMix};
+use aquascale::core::AquaScaleConfig;
+use aquascale::ml::ModelKind;
+use aquascale::net::synth;
+use aquascale::sensing::{k_medoids_placement, PlacementConfig, SensorSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = synth::epa_net();
+    let total = net.node_count() + net.link_count();
+    println!(
+        "network: {} — {} candidate sensor locations (|V| + |E|)",
+        net.name(),
+        total
+    );
+
+    let budget_fraction = 0.15;
+    let k = (total as f64 * budget_fraction).round() as usize;
+    println!("device budget: {k} sensors ({:.0}%)\n", budget_fraction * 100.0);
+
+    let kmedoids = k_medoids_placement(&net, k, &PlacementConfig::default())?;
+    println!(
+        "k-medoids deployment: {} pressure transducers, {} flow meters",
+        kmedoids.pressure_nodes.len(),
+        kmedoids.flow_links.len()
+    );
+    let random = SensorSet::random_fraction(&net, budget_fraction, 99);
+    println!(
+        "random deployment:    {} pressure transducers, {} flow meters\n",
+        random.pressure_nodes.len(),
+        random.flow_links.len()
+    );
+
+    for (label, sensors) in [("k-medoids", kmedoids), ("random", random)] {
+        let config = AquaScaleConfig {
+            model: ModelKind::random_forest(),
+            sensors: Some(sensors),
+            train_samples: 400,
+            max_events: 3,
+            threads: 8,
+            ..Default::default()
+        };
+        let mut experiment = Experiment::new(&net, config);
+        experiment.test_samples = 50;
+        let (aqua, profile) = experiment.train()?;
+        let test = experiment.test_corpus(&aqua)?;
+        let eval = experiment.evaluate(&aqua, &profile, &test, SourceMix::IotOnly, 1)?;
+        println!("{label:<12} hamming score: {:.3}", eval.hamming);
+    }
+    println!("\n(k-medoids spreads devices across hydraulically distinct regions,");
+    println!(" which matters most at small budgets.)");
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! AquaSCALE umbrella crate: re-exports every workspace crate.
+//!
+//! See the `aqua-core` crate for the framework entry points.
+
+#![forbid(unsafe_code)]
+
+pub use aqua_core as core;
+pub use aqua_flood as flood;
+pub use aqua_fusion as fusion;
+pub use aqua_hydraulics as hydraulics;
+pub use aqua_ml as ml;
+pub use aqua_net as net;
+pub use aqua_sensing as sensing;

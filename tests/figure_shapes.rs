@@ -1,0 +1,120 @@
+//! Cheap shape checks on the paper's figures — the full regeneration lives
+//! in `aqua-bench`, but the qualitative claims are asserted here so
+//! `cargo test` guards them.
+
+use aquascale::fusion::{BreakRateModel, FreezeModel, HumanInputModel};
+use aquascale::hydraulics::{solve_snapshot, LeakEvent, Scenario, SolverOptions};
+use aquascale::net::synth;
+use aquascale::net::ShortestPaths;
+
+/// Fig. 2: with a single leak, the pressure change of nodes within a
+/// distance ring decreases with distance from the leak; with three
+/// concurrent leaks the profile is not monotone.
+///
+/// Deviation: the paper plots the ring *sum*; our synthetic grids have ring
+/// populations that grow with distance, so the per-node *mean* is the
+/// faithful locality measure (see EXPERIMENTS.md).
+#[test]
+fn fig2_pressure_change_vs_distance_shape() {
+    let net = synth::epa_net();
+    let junctions = net.junction_ids();
+    let e1 = junctions[45];
+    let adjacency = net.adjacency();
+    let sp = ShortestPaths::from(&net, &adjacency, e1);
+    let opts = SolverOptions::default();
+    let base = solve_snapshot(&net, &Scenario::default(), 0, &opts).unwrap();
+
+    let ring_sums = |scenario: &Scenario| -> Vec<f64> {
+        let snap = solve_snapshot(&net, scenario, 0, &opts).unwrap();
+        let rings = [0.0, 600.0, 1200.0, 1800.0, 2400.0, 3000.0, 3600.0, 4200.0, 4800.0];
+        rings
+            .windows(2)
+            .map(|w| {
+                let vals: Vec<f64> = sp
+                    .nodes_in_ring(w[0], w[1])
+                    .into_iter()
+                    .filter(|n| net.node(*n).kind.is_junction())
+                    .map(|n| (base.pressure(n) - snap.pressure(n)).abs())
+                    .collect();
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            })
+            .collect()
+    };
+
+    // Scenario 1: single leak at e1 — the first ring dominates the last and
+    // the profile decays.
+    let single = Scenario::new().with_leak(LeakEvent::new(e1, 0.02, 0));
+    let s1 = ring_sums(&single);
+    assert!(
+        s1[0] > *s1.last().unwrap(),
+        "single-leak pressure change must decay with distance: {s1:?}"
+    );
+    let strictly_rising = s1.windows(2).filter(|w| w[1] > w[0] + 1e-9).count();
+    assert!(
+        strictly_rising <= 1,
+        "single-leak profile must be near-monotone: {s1:?}"
+    );
+
+    // Scenario 3: three concurrent leaks (the extra two sit 3.2 km and
+    // 4.5 km from e1) — the decay away from e1 is broken: outer rings
+    // outweigh inner ones.
+    let multi = Scenario::new().with_leaks([
+        LeakEvent::new(e1, 0.02, 0),
+        LeakEvent::new(junctions[49], 0.02, 0),
+        LeakEvent::new(junctions[77], 0.02, 0),
+    ]);
+    let s3 = ring_sums(&multi);
+    let monotone = s3.windows(2).all(|w| w[0] >= w[1]);
+    assert!(
+        !monotone,
+        "three concurrent leaks should break the distance decay: {s3:?}"
+    );
+}
+
+/// Fig. 3: breaks/day flat in warm weather, sharply higher below 20 °F.
+#[test]
+fn fig3_break_rate_shape() {
+    let m = BreakRateModel::default();
+    let warm = m.expected_breaks(70.0);
+    let cool = m.expected_breaks(35.0);
+    let freezing = m.expected_breaks(15.0);
+    assert!((warm - m.expected_breaks(85.0)).abs() < 0.05, "warm plateau");
+    assert!(cool < freezing, "rate rises as temperature falls");
+    assert!(freezing > 2.5 * warm, "cold extreme multiples of baseline");
+}
+
+/// Eq. 3: tweet confidence grows with report count; eq. 5–6: agreeing
+/// sources sharpen belief — the two monotonicities Figs. 8–9 rest on.
+#[test]
+fn fusion_monotonicities() {
+    let human = HumanInputModel::default();
+    let mut prev = 0.0;
+    for k in 1..8 {
+        let c = human.confidence(k);
+        assert!(c > prev);
+        prev = c;
+    }
+    let freeze = FreezeModel::default();
+    assert!(freeze.is_cold(20.0));
+    assert!(!freeze.is_cold(20.1));
+    for p in [0.2, 0.4, 0.6] {
+        let fused = aquascale::fusion::bayes::freeze_update(p, freeze.p_leak_given_freeze);
+        assert!(fused > p, "freeze evidence raises belief at p={p}");
+    }
+}
+
+/// E0: the enumeration baseline needs hundreds of hydraulic solves where
+/// Phase II needs none — the structural reason for the orders-of-magnitude
+/// detection-time gap.
+#[test]
+fn e0_enumeration_cost_structure() {
+    use aquascale::core::baseline::full_enumeration_count;
+    let single_epa = full_enumeration_count(91, 1, 4);
+    let multi_epa = full_enumeration_count(91, 5, 4);
+    assert_eq!(single_epa as u64, 364);
+    assert!(multi_epa / single_epa > 1e8, "combinatorial blowup");
+}
