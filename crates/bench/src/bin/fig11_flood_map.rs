@@ -14,10 +14,8 @@ fn main() {
     let junctions = net.junction_ids();
     let v1 = junctions[60];
     let v2 = junctions[230];
-    let scenario = Scenario::new().with_leaks([
-        LeakEvent::new(v1, 0.1, 0),
-        LeakEvent::new(v2, 0.04, 0),
-    ]);
+    let scenario =
+        Scenario::new().with_leaks([LeakEvent::new(v1, 0.1, 0), LeakEvent::new(v2, 0.04, 0)]);
 
     let config = ImpactConfig {
         grid: (96, 64),
@@ -32,8 +30,14 @@ fn main() {
         "Fig. 11: flood prediction from 2 simultaneous leaks over the WSSC-SUBNET DEM",
         &["quantity", "value"],
         &[
-            vec!["leak v1 (EC)".into(), format!("{} (0.1)", net.node(v1).name)],
-            vec!["leak v2 (EC)".into(), format!("{} (0.04)", net.node(v2).name)],
+            vec![
+                "leak v1 (EC)".into(),
+                format!("{} (0.1)", net.node(v1).name),
+            ],
+            vec![
+                "leak v2 (EC)".into(),
+                format!("{} (0.04)", net.node(v2).name),
+            ],
             vec!["dem_elevation_m".into(), format!("{lo:.1}-{hi:.1}")],
             vec!["dem_cell_m".into(), f3(sim.dem().cell_size())],
             vec!["simulated_s".into(), f3(result.simulated_s)],

@@ -34,10 +34,7 @@ fn main() {
         ),
         (
             "scenario-2 (e1,e2)",
-            Scenario::new().with_leaks([
-                LeakEvent::new(e1, ec, 0),
-                LeakEvent::new(e2, ec, 0),
-            ]),
+            Scenario::new().with_leaks([LeakEvent::new(e1, ec, 0), LeakEvent::new(e2, ec, 0)]),
         ),
         (
             "scenario-3 (e1,e3,e4)",
@@ -80,7 +77,13 @@ fn main() {
     }
     print_table(
         "Fig. 2: pressure-head change vs distance to e1.l (EPA-NET)",
-        &["scenario", "distance_ring_m", "ring_nodes", "sum_dP_m", "mean_dP_m"],
+        &[
+            "scenario",
+            "distance_ring_m",
+            "ring_nodes",
+            "sum_dP_m",
+            "mean_dP_m",
+        ],
         &rows,
     );
 }

@@ -61,13 +61,13 @@ fn main() {
         &["quantity", "value"],
         &[
             vec!["events_evaluated".into(), events.to_string()],
-            vec!["phase1_offline_s (amortized)".into(), f3(offline.as_secs_f64())],
+            vec![
+                "phase1_offline_s (amortized)".into(),
+                f3(offline.as_secs_f64()),
+            ],
             vec!["phase2_mean_ms".into(), f3(phase2_ms)],
             vec!["baseline_mean_ms (greedy)".into(), f3(baseline_ms)],
-            vec![
-                "speedup_x".into(),
-                f3(baseline_ms / phase2_ms.max(1e-9)),
-            ],
+            vec!["speedup_x".into(), f3(baseline_ms / phase2_ms.max(1e-9))],
             vec![
                 "baseline_sims_per_event".into(),
                 (baseline_sims / events).to_string(),

@@ -1,0 +1,147 @@
+//! Perf — warm-started workspace solve engine vs. the cold-solve path on
+//! dataset generation (the Phase-I bottleneck).
+//!
+//! Times `DatasetBuilder::build` through the `AquaScaleConfig::warm_start`
+//! knob on both evaluation networks: the cold arm re-solves every scenario
+//! from the synthetic initial guess (legacy behavior), the warm arm seeds
+//! each scenario's Newton iteration from the cached leak-free baseline via
+//! per-thread `SolverWorkspace`s. Also cross-checks that the two corpora
+//! agree feature-by-feature, so the speedup is not bought with accuracy.
+//!
+//! Emits `BENCH_hydraulics.json` (repo root) with per-network timings and
+//! the speedup, starting the perf trajectory tracked in DESIGN.md §5.
+//!
+//! Run with: `cargo run --release -p aqua-bench --bin fig_perf_warmstart`
+//! (set `AQUA_PAPER_SCALE=1` for the paper's 20 000-scenario corpus).
+
+use std::time::Instant;
+
+use aqua_bench::{f3, print_table, run_scale};
+use aqua_core::{AquaScale, AquaScaleConfig};
+use aqua_net::Network;
+use aqua_sensing::LeakDataset;
+
+const SEED: u64 = 1234;
+const THREADS: usize = 4;
+const TARGET_SPEEDUP: f64 = 2.0;
+/// Timing passes per arm; the minimum is reported (standard practice to
+/// strip scheduler noise, which matters on small CI machines).
+const PASSES: usize = 3;
+
+fn build(net: &Network, samples: usize, warm_start: bool) -> (f64, LeakDataset) {
+    let config = AquaScaleConfig {
+        train_samples: samples,
+        warm_start,
+        threads: THREADS,
+        ..Default::default()
+    };
+    let aqua = AquaScale::new(net, config);
+    let start = Instant::now();
+    let ds = aqua
+        .generate_dataset(samples, SEED)
+        .expect("dataset generation");
+    (start.elapsed().as_secs_f64(), ds)
+}
+
+/// Largest |warm − cold| over all features of all samples.
+fn max_feature_delta(a: &LeakDataset, b: &LeakDataset) -> f64 {
+    let mut max = 0.0f64;
+    for i in 0..a.x.rows() {
+        for (x, y) in a.x.row(i).iter().zip(b.x.row(i)) {
+            max = max.max((x - y).abs());
+        }
+    }
+    max
+}
+
+fn main() {
+    let scale = run_scale(400, 0);
+    let samples = scale.train;
+    let networks = [aqua_net::synth::epa_net(), aqua_net::synth::wssc_subnet()];
+
+    let mut rows = Vec::new();
+    let mut json_entries = Vec::new();
+    let mut worst_speedup = f64::INFINITY;
+    for net in &networks {
+        // Warm-up pass so neither arm pays first-touch costs.
+        let _ = build(net, (samples / 20).max(8), true);
+
+        let (mut cold_s, mut warm_s) = (f64::INFINITY, f64::INFINITY);
+        let (mut cold_ds, mut warm_ds) = (None, None);
+        for _ in 0..PASSES {
+            let (c, cds) = build(net, samples, false);
+            let (w, wds) = build(net, samples, true);
+            cold_s = cold_s.min(c);
+            warm_s = warm_s.min(w);
+            cold_ds = Some(cds);
+            warm_ds = Some(wds);
+        }
+        let (cold_ds, warm_ds) = (cold_ds.unwrap(), warm_ds.unwrap());
+        let speedup = cold_s / warm_s;
+        worst_speedup = worst_speedup.min(speedup);
+        let delta = max_feature_delta(&warm_ds, &cold_ds);
+        assert!(
+            delta < 1e-3,
+            "warm/cold corpora diverged on {}: max |Δfeature| = {delta}",
+            net.name()
+        );
+
+        rows.push(vec![
+            net.name().to_string(),
+            net.junction_ids().len().to_string(),
+            samples.to_string(),
+            f3(cold_s),
+            f3(warm_s),
+            f3(speedup),
+            format!("{delta:.2e}"),
+        ]);
+        json_entries.push(format!(
+            concat!(
+                "    {{\"network\": {:?}, \"junctions\": {}, \"samples\": {}, ",
+                "\"cold_s\": {:.4}, \"warm_s\": {:.4}, \"speedup\": {:.3}, ",
+                "\"max_feature_delta\": {:.3e}}}"
+            ),
+            net.name(),
+            net.junction_ids().len(),
+            samples,
+            cold_s,
+            warm_s,
+            speedup,
+            delta,
+        ));
+    }
+
+    print_table(
+        "Perf: warm-started workspace vs cold solves, dataset generation",
+        &[
+            "network",
+            "junctions",
+            "samples",
+            "cold_s",
+            "warm_s",
+            "speedup",
+            "max_feature_delta",
+        ],
+        &rows,
+    );
+
+    let met = worst_speedup >= TARGET_SPEEDUP;
+    let json = format!(
+        "{{\n  \"bench\": \"fig_perf_warmstart\",\n  \"units\": \"seconds\",\n  \
+         \"config\": {{\"samples\": {samples}, \"threads\": {THREADS}, \"seed\": {SEED}, \
+         \"paper_scale\": {}}},\n  \"results\": [\n{}\n  ],\n  \
+         \"acceptance\": {{\"target_speedup\": {TARGET_SPEEDUP}, \"worst_speedup\": {:.3}, \"met\": {met}}}\n}}\n",
+        samples >= 20_000,
+        json_entries.join(",\n"),
+        worst_speedup,
+    );
+    std::fs::write("BENCH_hydraulics.json", &json).expect("write BENCH_hydraulics.json");
+    println!(
+        "wrote BENCH_hydraulics.json (worst speedup {})",
+        f3(worst_speedup)
+    );
+    assert!(
+        met,
+        "warm-start speedup {worst_speedup:.2} below the {TARGET_SPEEDUP}x acceptance bar"
+    );
+}

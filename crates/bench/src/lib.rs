@@ -21,7 +21,10 @@ pub struct RunScale {
 /// Resolves the run scale: the per-binary default, or the paper's
 /// 20 000 / 2 000 when `AQUA_PAPER_SCALE=1` is set.
 pub fn run_scale(default_train: usize, default_test: usize) -> RunScale {
-    if std::env::var("AQUA_PAPER_SCALE").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("AQUA_PAPER_SCALE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         RunScale {
             train: 20_000,
             test: 2_000,

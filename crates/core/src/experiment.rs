@@ -152,9 +152,9 @@ impl<'a> Experiment<'a> {
             if mix.uses_human() {
                 let mut rng = StdRng::seed_from_u64(sample_seed ^ 0x7311);
                 let leaks = scenario.true_leak_nodes(leak_start);
-                let tweets =
-                    self.human
-                        .generate_tweets(self.net, &leaks, elapsed_slots, &mut rng);
+                let tweets = self
+                    .human
+                    .generate_tweets(self.net, &leaks, elapsed_slots, &mut rng);
                 external.cliques = self.human.cliques(self.net, &profile.junctions, &tweets);
             }
             let inference = aqua.infer(profile, test.x.row(i), &external)?;

@@ -67,10 +67,8 @@ mod tests {
         let (v1, v2) = (junctions[60], junctions[230]);
         // Main-break-sized leaks; a fine grid (≈50 m cells) keeps ponding
         // depths above the 1 cm wet threshold.
-        let scenario = Scenario::new().with_leaks([
-            LeakEvent::new(v1, 0.1, 0),
-            LeakEvent::new(v2, 0.04, 0),
-        ]);
+        let scenario =
+            Scenario::new().with_leaks([LeakEvent::new(v1, 0.1, 0), LeakEvent::new(v2, 0.04, 0)]);
         let config = ImpactConfig {
             grid: (96, 64),
             duration_s: 3_600.0,

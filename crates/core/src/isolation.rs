@@ -55,10 +55,7 @@ pub fn plan_isolation(
 
     let snap = solve_snapshot(net, scenario, t, solver)?;
     let shed_demand: f64 = zone.iter().map(|&n| snap.demands[n.index()]).sum();
-    let stopped_leakage: f64 = zone
-        .iter()
-        .map(|&n| snap.emitter_flow(n))
-        .sum();
+    let stopped_leakage: f64 = zone.iter().map(|&n| snap.emitter_flow(n)).sum();
 
     let mut isolated_nodes: Vec<NodeId> = zone.into_iter().collect();
     isolated_nodes.sort();
@@ -142,15 +139,8 @@ mod tests {
         let net = synth::epa_net();
         let leak = net.junction_ids()[40];
         let scenario = Scenario::new().with_leak(LeakEvent::new(leak, 0.01, 0));
-        let plan = plan_isolation(
-            &net,
-            &scenario,
-            &[leak],
-            1,
-            0,
-            &SolverOptions::default(),
-        )
-        .unwrap();
+        let plan =
+            plan_isolation(&net, &scenario, &[leak], 1, 0, &SolverOptions::default()).unwrap();
         assert!(!plan.close_links.is_empty());
         let zone: HashSet<NodeId> = plan.isolated_nodes.iter().copied().collect();
         for &lid in &plan.close_links {

@@ -29,6 +29,11 @@ pub struct AquaScaleConfig {
     pub features: FeatureConfig,
     /// Hydraulic solver options.
     pub solver: SolverOptions,
+    /// Warm-start scenario solves from the cached leak-free baseline via
+    /// per-thread solver workspaces (default on; see
+    /// [`DatasetBuilder::warm_start`]). Disable to reproduce the cold-solve
+    /// control arm of the `fig_perf_warmstart` bench.
+    pub warm_start: bool,
     /// Fusion knobs (Γ threshold, p(leak|freeze)).
     pub tuning: TuningConfig,
     /// Training/generation parallelism.
@@ -48,6 +53,7 @@ impl Default for AquaScaleConfig {
             elapsed_slots: 1,
             features: FeatureConfig::default(),
             solver: SolverOptions::default(),
+            warm_start: true,
             tuning: TuningConfig::default(),
             threads: 4,
             seed: 42,
@@ -176,6 +182,7 @@ impl<'a> AquaScale<'a> {
             .elapsed_slots(self.config.elapsed_slots)
             .feature_config(self.config.features)
             .solver_options(self.config.solver.clone())
+            .warm_start(self.config.warm_start)
     }
 
     /// Generates a labeled corpus with this deployment's settings (used for
@@ -196,11 +203,10 @@ impl<'a> AquaScale<'a> {
     pub fn train_profile(&self) -> Result<ProfileModel, AquaError> {
         let start = Instant::now();
         let dataset = self.generate_dataset(self.config.train_samples, self.config.seed)?;
-        self.train_profile_on(&dataset)
-            .map(|mut p| {
-                p.training_time = start.elapsed();
-                p
-            })
+        self.train_profile_on(&dataset).map(|mut p| {
+            p.training_time = start.elapsed();
+            p
+        })
     }
 
     /// Trains the profile on an existing corpus (lets experiments reuse one

@@ -81,8 +81,7 @@ mod tests {
     fn cold_weather_freezes_leak_nodes_always() {
         let (junctions, scenario) = setup();
         for seed in 0..20 {
-            let s =
-                cold_snap_flags(&junctions, &scenario, 10.0, &FreezeModel::default(), seed);
+            let s = cold_snap_flags(&junctions, &scenario, 10.0, &FreezeModel::default(), seed);
             assert!(s.frozen[5], "leak node must be frozen");
             assert!(s.frozen[50], "leak node must be frozen");
         }
@@ -94,8 +93,7 @@ mod tests {
         let mut frozen_total = 0usize;
         let trials = 200;
         for seed in 0..trials {
-            let s =
-                cold_snap_flags(&junctions, &scenario, 10.0, &FreezeModel::default(), seed);
+            let s = cold_snap_flags(&junctions, &scenario, 10.0, &FreezeModel::default(), seed);
             frozen_total += s
                 .frozen
                 .iter()

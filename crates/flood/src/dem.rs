@@ -46,8 +46,11 @@ impl Dem {
         let x0 = min_x - cell;
         let y0 = min_y - cell;
 
-        let points: Vec<(f64, f64, f64)> =
-            net.nodes().iter().map(|n| (n.x, n.y, n.elevation)).collect();
+        let points: Vec<(f64, f64, f64)> = net
+            .nodes()
+            .iter()
+            .map(|n| (n.x, n.y, n.elevation))
+            .collect();
         let mut z = Vec::with_capacity(nx * ny);
         for j in 0..ny {
             for i in 0..nx {

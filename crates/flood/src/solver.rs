@@ -160,9 +160,17 @@ impl FloodSim {
         for j in 0..ny {
             for i in 0..nx {
                 let c = self.dem.index(i, j);
-                let qx_in = if i > 0 { self.qx[self.dem.index(i - 1, j)] } else { 0.0 };
+                let qx_in = if i > 0 {
+                    self.qx[self.dem.index(i - 1, j)]
+                } else {
+                    0.0
+                };
                 let qx_out = if i < nx - 1 { self.qx[c] } else { 0.0 };
-                let qy_in = if j > 0 { self.qy[self.dem.index(i, j - 1)] } else { 0.0 };
+                let qy_in = if j > 0 {
+                    self.qy[self.dem.index(i, j - 1)]
+                } else {
+                    0.0
+                };
                 let qy_out = if j < ny - 1 { self.qy[c] } else { 0.0 };
                 self.h[c] += dt * (qx_in - qx_out + qy_in - qy_out) / dx;
             }

@@ -197,7 +197,13 @@ mod tests {
     fn consistent_clique_changes_nothing() {
         let p1 = [0.9, 0.1];
         let pred = [true, false];
-        let out = tune_events(&p1, &pred, &[], &[clique(&[0, 1])], &TuningConfig::default());
+        let out = tune_events(
+            &p1,
+            &pred,
+            &[],
+            &[clique(&[0, 1])],
+            &TuningConfig::default(),
+        );
         assert!(out.forced.is_empty());
         assert_eq!(out.p1, p1);
     }

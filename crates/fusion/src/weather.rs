@@ -216,8 +216,7 @@ mod tests {
     fn poisson_mean_matches_lambda() {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(3.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| poisson(3.0, &mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
         assert_eq!(poisson(0.0, &mut rng), 0);
     }

@@ -11,7 +11,8 @@ use aqua_net::{Network, NodeId, NodeKind};
 use crate::error::HydraulicError;
 use crate::scenario::Scenario;
 use crate::snapshot::Snapshot;
-use crate::solver::{solve_snapshot, SolverOptions};
+use crate::solver::{solve_snapshot_with, SolverOptions};
+use crate::workspace::SolverWorkspace;
 
 /// The paper's hydraulic time step / IoT sampling interval: 15 minutes.
 pub const DEFAULT_STEP: u64 = 900;
@@ -53,10 +54,7 @@ pub struct EpsResult {
 impl EpsResult {
     /// Snapshot nearest to time `t` (the one whose step contains `t`).
     pub fn at(&self, t: u64) -> Option<&Snapshot> {
-        self.snapshots
-            .iter()
-            .take_while(|s| s.time <= t)
-            .last()
+        self.snapshots.iter().take_while(|s| s.time <= t).last()
     }
 
     /// Total water lost through leaks over the run, m³ (trapezoid over
@@ -102,10 +100,31 @@ impl<'a> ExtendedPeriodSim<'a> {
 
     /// Runs the simulation from `t = 0` through `t = duration` inclusive.
     ///
+    /// Allocates a fresh [`SolverWorkspace`] and delegates to
+    /// [`Self::run_with`]; reuse a workspace across runs to amortize the
+    /// symbolic setup.
+    ///
     /// # Errors
     ///
     /// Propagates the first snapshot failure.
     pub fn run(&self, duration: u64) -> Result<EpsResult, HydraulicError> {
+        let mut ws = SolverWorkspace::new(self.net);
+        self.run_with(duration, &mut ws)
+    }
+
+    /// [`Self::run`] against a caller-provided workspace. Successive steps
+    /// warm-start from each other (a 15-minute demand step barely moves the
+    /// operating point, so Newton converges in the minimum iteration
+    /// count), and the final state stays in `ws` for the caller's next run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first snapshot failure.
+    pub fn run_with(
+        &self,
+        duration: u64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<EpsResult, HydraulicError> {
         let tank_ids: Vec<NodeId> = self
             .net
             .iter_nodes()
@@ -135,7 +154,7 @@ impl<'a> ExtendedPeriodSim<'a> {
                 .cloned()
                 .zip(levels.iter().cloned())
                 .collect();
-            let snap = solve_snapshot(self.net, &scenario, t, &self.options)?;
+            let snap = solve_snapshot_with(self.net, &scenario, t, &self.options, ws)?;
 
             // Integrate tank levels with the net inflow of this step.
             level_history.push(levels.clone());
@@ -242,8 +261,7 @@ mod tests {
         let net = aqua_net::synth::epa_net();
         let j = net.junction_ids()[30];
         let scenario = Scenario::new().with_leak(LeakEvent::new(j, 0.01, 1800));
-        let eps =
-            ExtendedPeriodSim::new(&net, scenario, SolverOptions::default()).with_step(900);
+        let eps = ExtendedPeriodSim::new(&net, scenario, SolverOptions::default()).with_step(900);
         let result = eps.run(3 * 900).unwrap();
         assert_eq!(result.snapshots[0].emitter_flow(j), 0.0);
         assert_eq!(result.snapshots[1].emitter_flow(j), 0.0);

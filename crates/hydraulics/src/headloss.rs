@@ -45,10 +45,8 @@ impl HeadlossModel {
         match self {
             HeadlossModel::HazenWilliams => {
                 // SI form: h = 10.667 · C^-1.852 · d^-4.871 · L · q^1.852.
-                let r = 10.667
-                    * pipe.roughness.powf(-1.852)
-                    * pipe.diameter.powf(-4.871)
-                    * pipe.length;
+                let r =
+                    10.667 * pipe.roughness.powf(-1.852) * pipe.diameter.powf(-4.871) * pipe.length;
                 PipeCoeffs { r, n: 1.852, m }
             }
             HeadlossModel::DarcyWeisbach => {
@@ -59,9 +57,8 @@ impl HeadlossModel {
                 // Equivalent sand roughness from the HW coefficient:
                 // smooth modern pipe (C≈140) → ~0.05 mm, rough old pipe
                 // (C≈100) → ~1 mm (log-linear interpolation).
-                let eps = (1.0e-3f64)
-                    .powf((140.0 - pipe.roughness.clamp(80.0, 150.0)) / 40.0)
-                    * 5.0e-5;
+                let eps =
+                    (1.0e-3f64).powf((140.0 - pipe.roughness.clamp(80.0, 150.0)) / 40.0) * 5.0e-5;
                 let f = if re < 2000.0 {
                     64.0 / re
                 } else {
@@ -159,8 +156,12 @@ mod tests {
         // The two formulas should agree within a factor of ~2 for a typical
         // distribution pipe at a typical velocity.
         let q = 0.05; // ~0.7 m/s in a 300 mm pipe
-        let hw = HeadlossModel::HazenWilliams.pipe_coeffs(&pipe(), q).headloss(q);
-        let dw = HeadlossModel::DarcyWeisbach.pipe_coeffs(&pipe(), q).headloss(q);
+        let hw = HeadlossModel::HazenWilliams
+            .pipe_coeffs(&pipe(), q)
+            .headloss(q);
+        let dw = HeadlossModel::DarcyWeisbach
+            .pipe_coeffs(&pipe(), q)
+            .headloss(q);
         assert!(dw > hw * 0.4 && dw < hw * 2.5, "hw={hw} dw={dw}");
     }
 

@@ -42,15 +42,17 @@ pub mod quality;
 mod scenario;
 mod snapshot;
 mod solver;
+mod workspace;
 
 pub use emitter::Emitter;
-pub use quality::{QualitySources, WaterQuality};
 pub use eps::{EpsResult, ExtendedPeriodSim};
 pub use error::HydraulicError;
 pub use headloss::HeadlossModel;
+pub use quality::{QualitySources, WaterQuality};
 pub use scenario::{LeakEvent, Scenario};
 pub use snapshot::Snapshot;
-pub use solver::{solve_snapshot, LinearBackend, SolverOptions};
+pub use solver::{solve_snapshot, solve_snapshot_with, LinearBackend, SolverOptions};
+pub use workspace::{SolverWorkspace, WarmStart};
 
 /// Gravitational acceleration, m/s².
 pub const GRAVITY: f64 = 9.81;

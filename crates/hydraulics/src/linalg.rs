@@ -48,13 +48,28 @@ impl DenseSpd {
         self.a[i * self.n + j]
     }
 
+    /// Zeros every entry, keeping the allocation (workspace reuse).
+    pub fn reset(&mut self) {
+        self.a.fill(0.0);
+    }
+
     /// Solves `A x = b` by Cholesky factorization. Returns `None` if the
     /// matrix is not positive definite.
     pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        let mut scratch = DenseScratch::default();
+        self.solve_into(b, &mut scratch).then_some(scratch.x)
+    }
+
+    /// Solves `A x = b` into `scratch.x`, reusing `scratch`'s buffers
+    /// across calls (zero allocation once warmed). Returns `false` if the
+    /// matrix is not positive definite.
+    pub fn solve_into(&self, b: &[f64], scratch: &mut DenseScratch) -> bool {
         assert_eq!(b.len(), self.n);
         let n = self.n;
+        scratch.l.clear();
+        scratch.l.resize(n * n, 0.0);
+        let l = &mut scratch.l;
         // Lower-triangular factor L with A = L Lᵀ.
-        let mut l = vec![0.0f64; n * n];
         for i in 0..n {
             for j in 0..=i {
                 let mut sum = self.a[i * n + j];
@@ -63,7 +78,7 @@ impl DenseSpd {
                 }
                 if i == j {
                     if sum <= 0.0 || !sum.is_finite() {
-                        return None;
+                        return false;
                     }
                     l[i * n + i] = sum.sqrt();
                 } else {
@@ -72,7 +87,9 @@ impl DenseSpd {
             }
         }
         // Forward substitution L y = b.
-        let mut y = vec![0.0f64; n];
+        scratch.y.clear();
+        scratch.y.resize(n, 0.0);
+        let y = &mut scratch.y;
         for i in 0..n {
             let mut sum = b[i];
             for k in 0..i {
@@ -81,7 +98,9 @@ impl DenseSpd {
             y[i] = sum / l[i * n + i];
         }
         // Back substitution Lᵀ x = y.
-        let mut x = vec![0.0f64; n];
+        scratch.x.clear();
+        scratch.x.resize(n, 0.0);
+        let x = &mut scratch.x;
         for i in (0..n).rev() {
             let mut sum = y[i];
             for k in i + 1..n {
@@ -89,8 +108,18 @@ impl DenseSpd {
             }
             x[i] = sum / l[i * n + i];
         }
-        Some(x)
+        true
     }
+}
+
+/// Reusable buffers for [`DenseSpd::solve_into`]: the Cholesky factor and
+/// the substitution vectors, kept allocated across solves.
+#[derive(Debug, Clone, Default)]
+pub struct DenseScratch {
+    l: Vec<f64>,
+    y: Vec<f64>,
+    /// The solution of the last successful solve.
+    pub x: Vec<f64>,
 }
 
 /// A sparse symmetric matrix assembled from coordinate triplets and stored
@@ -159,6 +188,59 @@ impl SparseBuilder {
 }
 
 impl SparseSym {
+    /// Builds the *symbolic* CSR structure for a symmetric matrix with the
+    /// given off-diagonal coupling pairs, with every diagonal entry present
+    /// and all values zero. Duplicate and mirrored pairs collapse to one
+    /// slot. This is the once-per-network half of workspace assembly: the
+    /// numeric half writes values through [`SparseSym::slot_of`] indices
+    /// with no per-solve sorting or allocation.
+    pub fn symbolic(n: usize, pairs: &[(usize, usize)]) -> SparseSym {
+        let mut cols: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        for &(i, j) in pairs {
+            debug_assert!(i < n && j < n, "pair ({i}, {j}) out of bounds for n={n}");
+            if i != j {
+                cols[i].push(j);
+                cols[j].push(i);
+            }
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::new();
+        for (i, row) in cols.iter_mut().enumerate() {
+            row.sort_unstable();
+            row.dedup();
+            col_idx.extend_from_slice(row);
+            row_ptr[i + 1] = col_idx.len();
+        }
+        let values = vec![0.0; col_idx.len()];
+        SparseSym {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// The value-array index of entry `(i, j)`, if present in the pattern
+    /// (binary search within the row).
+    pub fn slot_of(&self, i: usize, j: usize) -> Option<usize> {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        self.col_idx[lo..hi]
+            .binary_search(&j)
+            .ok()
+            .map(|off| lo + off)
+    }
+
+    /// Zeros every stored value, keeping the symbolic structure.
+    pub fn reset_values(&mut self) {
+        self.values.fill(0.0);
+    }
+
+    /// Adds `v` at a slot previously obtained from [`SparseSym::slot_of`].
+    #[inline]
+    pub fn add_at(&mut self, slot: usize, v: f64) {
+        self.values[slot] += v;
+    }
+
     /// Matrix dimension.
     pub fn dim(&self) -> usize {
         self.n
@@ -184,12 +266,12 @@ impl SparseSym {
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
     }
 
@@ -199,61 +281,121 @@ impl SparseSym {
     }
 }
 
+/// Reusable buffers for [`conjugate_gradient_into`], kept allocated across
+/// solves (workspace reuse).
+#[derive(Debug, Clone, Default)]
+pub struct CgScratch {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    inv_diag: Vec<f64>,
+    /// The solution of the last successful solve.
+    pub x: Vec<f64>,
+}
+
 /// Solves `A x = b` for SPD `A` by Jacobi-preconditioned conjugate gradient.
 ///
 /// Returns `None` if the iteration fails to reach `tol` (relative residual)
 /// within `max_iter` steps or breaks down.
-pub fn conjugate_gradient(
+pub fn conjugate_gradient(a: &SparseSym, b: &[f64], tol: f64, max_iter: usize) -> Option<Vec<f64>> {
+    let mut scratch = CgScratch::default();
+    conjugate_gradient_into(a, b, None, tol, max_iter, &mut scratch).then_some(scratch.x)
+}
+
+/// Warm-startable, allocation-free variant of [`conjugate_gradient`]: the
+/// iteration starts from `x0` (when given and of matching length) instead
+/// of zero, and every work vector lives in `scratch`. On success the
+/// solution is left in `scratch.x` and `true` is returned.
+pub fn conjugate_gradient_into(
     a: &SparseSym,
     b: &[f64],
+    x0: Option<&[f64]>,
     tol: f64,
     max_iter: usize,
-) -> Option<Vec<f64>> {
+    scratch: &mut CgScratch,
+) -> bool {
     let n = a.dim();
     assert_eq!(b.len(), n);
     let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if b_norm == 0.0 {
-        return Some(vec![0.0; n]);
+        scratch.x.clear();
+        scratch.x.resize(n, 0.0);
+        return true;
     }
-    let inv_diag: Vec<f64> = a
-        .diagonal()
-        .iter()
-        .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
-        .collect();
+    scratch.inv_diag.clear();
+    scratch.inv_diag.extend(
+        (0..n)
+            .map(|i| a.get(i, i))
+            .map(|d| if d > 0.0 { 1.0 / d } else { 0.0 }),
+    );
 
-    let mut x = vec![0.0f64; n];
-    let mut r = b.to_vec();
-    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
-    let mut p = z.clone();
-    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-    let mut ap = vec![0.0f64; n];
+    // Initial guess and residual r = b - A x.
+    match x0 {
+        Some(guess) if guess.len() == n => {
+            scratch.x.clear();
+            scratch.x.extend_from_slice(guess);
+            scratch.ap.clear();
+            scratch.ap.resize(n, 0.0);
+            a.mul_vec(&scratch.x, &mut scratch.ap);
+            scratch.r.clear();
+            scratch
+                .r
+                .extend(b.iter().zip(&scratch.ap).map(|(bi, axi)| bi - axi));
+        }
+        _ => {
+            scratch.x.clear();
+            scratch.x.resize(n, 0.0);
+            scratch.r.clear();
+            scratch.r.extend_from_slice(b);
+        }
+    }
+    scratch.z.clear();
+    scratch.z.extend(
+        scratch
+            .r
+            .iter()
+            .zip(&scratch.inv_diag)
+            .map(|(ri, di)| ri * di),
+    );
+    scratch.p.clear();
+    scratch.p.extend_from_slice(&scratch.z);
+    scratch.ap.clear();
+    scratch.ap.resize(n, 0.0);
+
+    let mut rz: f64 = scratch.r.iter().zip(&scratch.z).map(|(a, b)| a * b).sum();
 
     for _ in 0..max_iter {
-        a.mul_vec(&p, &mut ap);
-        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        // A warm start may already satisfy the tolerance.
+        let r_norm = scratch.r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if r_norm <= tol * b_norm {
+            return true;
+        }
+        a.mul_vec(&scratch.p, &mut scratch.ap);
+        let pap: f64 = scratch.p.iter().zip(&scratch.ap).map(|(a, b)| a * b).sum();
         if pap <= 0.0 || !pap.is_finite() {
-            return None;
+            return false;
         }
         let alpha = rz / pap;
         for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
+            scratch.x[i] += alpha * scratch.p[i];
+            scratch.r[i] -= alpha * scratch.ap[i];
         }
-        let r_norm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let r_norm = scratch.r.iter().map(|v| v * v).sum::<f64>().sqrt();
         if r_norm <= tol * b_norm {
-            return Some(x);
+            return true;
         }
         for i in 0..n {
-            z[i] = r[i] * inv_diag[i];
+            scratch.z[i] = scratch.r[i] * scratch.inv_diag[i];
         }
-        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let rz_new: f64 = scratch.r.iter().zip(&scratch.z).map(|(a, b)| a * b).sum();
         let beta = rz_new / rz;
         rz = rz_new;
         for i in 0..n {
-            p[i] = z[i] + beta * p[i];
+            scratch.p[i] = scratch.z[i] + beta * scratch.p[i];
         }
     }
-    None
+    false
 }
 
 #[cfg(test)]
@@ -299,9 +441,9 @@ mod tests {
         let m = laplacian_dense(n);
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 1.0).collect();
         let mut b = vec![0.0; n];
-        for i in 0..n {
-            for j in 0..n {
-                b[i] += m.get(i, j) * x_true[j];
+        for (i, bi) in b.iter_mut().enumerate() {
+            for (j, xt) in x_true.iter().enumerate() {
+                *bi += m.get(i, j) * xt;
             }
         }
         let x = m.solve(&b).unwrap();
@@ -338,9 +480,9 @@ mod tests {
         let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 1.0).collect();
         let mut ys = vec![0.0; n];
         s.mul_vec(&x, &mut ys);
-        for i in 0..n {
+        for (i, ysi) in ys.iter().enumerate() {
             let yd: f64 = (0..n).map(|j| d.get(i, j) * x[j]).sum();
-            assert!((ys[i] - yd).abs() < 1e-12);
+            assert!((ysi - yd).abs() < 1e-12);
         }
     }
 
@@ -362,6 +504,67 @@ mod tests {
         let s = laplacian_sparse(5);
         let x = conjugate_gradient(&s, &[0.0; 5], 1e-12, 100).unwrap();
         assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn symbolic_pattern_matches_builder_and_slots_resolve() {
+        let n = 6;
+        let pairs: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let mut m = SparseSym::symbolic(n, &pairs);
+        // Write the chain Laplacian through slots.
+        for i in 0..n {
+            let d = m.slot_of(i, i).unwrap();
+            m.add_at(d, 2.0);
+        }
+        for &(i, j) in &pairs {
+            m.add_at(m.slot_of(i, j).unwrap(), -1.0);
+            m.add_at(m.slot_of(j, i).unwrap(), -1.0);
+        }
+        let reference = laplacian_sparse(n);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((m.get(i, j) - reference.get(i, j)).abs() < 1e-12);
+            }
+        }
+        assert!(m.slot_of(0, 3).is_none());
+        m.reset_values();
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.nnz(), reference.nnz());
+    }
+
+    #[test]
+    fn warm_started_cg_converges_fast_and_matches_cold() {
+        let n = 40;
+        let s = laplacian_sparse(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
+        let cold = conjugate_gradient(&s, &b, 1e-12, 10 * n).unwrap();
+        // Warm start from the exact solution: must verify convergence
+        // without moving.
+        let mut scratch = CgScratch::default();
+        assert!(conjugate_gradient_into(
+            &s,
+            &b,
+            Some(&cold),
+            1e-12,
+            1,
+            &mut scratch
+        ));
+        for (a, b) in cold.iter().zip(&scratch.x) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        // Warm start from a perturbed solution: same answer as cold.
+        let perturbed: Vec<f64> = cold.iter().map(|v| v + 1e-3).collect();
+        assert!(conjugate_gradient_into(
+            &s,
+            &b,
+            Some(&perturbed),
+            1e-12,
+            10 * n,
+            &mut scratch
+        ));
+        for (a, b) in cold.iter().zip(&scratch.x) {
+            assert!((a - b).abs() < 1e-8);
+        }
     }
 
     #[test]

@@ -235,8 +235,7 @@ impl WaterQuality {
             }
             // Keep the stored volume consistent (drop overflow at the
             // downstream end — it already exited this step).
-            let mut excess: f64 =
-                segs.iter().map(|s| s.volume).sum::<f64>() - self.volumes[li];
+            let mut excess: f64 = segs.iter().map(|s| s.volume).sum::<f64>() - self.volumes[li];
             while excess > 1e-12 {
                 let Some(end) = (if q > 0.0 {
                     segs.front_mut()

@@ -112,6 +112,19 @@ impl Scenario {
         out
     }
 
+    /// Whether the network at time `t` is hydraulically indistinguishable
+    /// from the leak-free baseline under this scenario: no leak has started
+    /// yet, no link status is overridden, and demands are nominal. Tank
+    /// levels are excluded — callers supply those per instant. When this
+    /// holds, a solve at `t` reproduces the baseline solve at `t` (same
+    /// inputs, same solver), so a cached baseline snapshot can stand in for
+    /// it.
+    pub fn is_baseline_at(&self, t: u64) -> bool {
+        self.link_status.is_empty()
+            && self.demand_scale == 1.0
+            && self.leaks.iter().all(|l| !l.active_at(t))
+    }
+
     /// Status of `link` at runtime, honoring overrides (last override wins).
     pub fn link_status(&self, link: LinkId, base: LinkStatus) -> LinkStatus {
         self.link_status
@@ -161,6 +174,18 @@ mod tests {
         assert!(s.active_emitters(899).is_empty());
         assert_eq!(s.active_emitters(900).len(), 1);
         assert_eq!(s.true_leak_nodes(900), vec![NodeId::from_index(3)]);
+    }
+
+    #[test]
+    fn baseline_equivalence_tracks_leak_onset_and_overrides() {
+        let s = Scenario::new().with_leak(LeakEvent::new(NodeId::from_index(3), 0.002, 900));
+        assert!(s.is_baseline_at(0));
+        assert!(s.is_baseline_at(899));
+        assert!(!s.is_baseline_at(900));
+        assert!(!s.clone().with_demand_scale(1.2).is_baseline_at(0));
+        assert!(!s
+            .with_link_status(LinkId::from_index(0), LinkStatus::Closed)
+            .is_baseline_at(0));
     }
 
     #[test]

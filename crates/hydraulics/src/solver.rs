@@ -14,9 +14,9 @@ use aqua_net::{LinkKind, LinkStatus, Network, NodeId, NodeKind, ValveKind};
 use crate::emitter::Emitter;
 use crate::error::HydraulicError;
 use crate::headloss::{minor_loss_coeff, HeadlossModel};
-use crate::linalg::{conjugate_gradient, DenseSpd, SparseBuilder};
 use crate::scenario::Scenario;
 use crate::snapshot::Snapshot;
+use crate::workspace::SolverWorkspace;
 
 /// Which linear-solver backend the GGA inner loop uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,19 +80,37 @@ pub fn solve_snapshot(
     t: u64,
     opts: &SolverOptions,
 ) -> Result<Snapshot, HydraulicError> {
-    let n_nodes = net.node_count();
-    let n_links = net.link_count();
+    let mut ws = SolverWorkspace::new(net);
+    solve_snapshot_with(net, scenario, t, opts, &mut ws)
+}
 
-    // Junction indexing: dense node id -> row in the linear system.
-    let mut row_of: Vec<Option<usize>> = vec![None; n_nodes];
-    let mut junctions: Vec<NodeId> = Vec::new();
-    for (id, node) in net.iter_nodes() {
-        if node.kind.is_junction() {
-            row_of[id.index()] = Some(junctions.len());
-            junctions.push(id);
-        }
-    }
-    let n_junc = junctions.len();
+/// [`solve_snapshot`] against a cached [`SolverWorkspace`]: the symbolic
+/// CSR structure and every scratch buffer come from `ws` (zero assembly
+/// sort/alloc per iteration), the Newton iteration seeds from `ws`'s warm
+/// start when one is set and dimensionally valid, and on success the
+/// converged solution is stored back as the next solve's warm start.
+///
+/// # Errors
+///
+/// Same contract as [`solve_snapshot`].
+///
+/// # Panics
+///
+/// Panics if `ws` was built for a network with different node/link counts.
+pub fn solve_snapshot_with(
+    net: &Network,
+    scenario: &Scenario,
+    t: u64,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace,
+) -> Result<Snapshot, HydraulicError> {
+    assert_eq!(
+        (ws.n_nodes, ws.n_links),
+        (net.node_count(), net.link_count()),
+        "workspace was built for a different network"
+    );
+    let n_nodes = ws.n_nodes;
+    let n_junc = ws.junctions.len();
     if n_junc == n_nodes {
         return Err(HydraulicError::NoSource);
     }
@@ -104,12 +122,11 @@ pub fn solve_snapshot(
         .iter()
         .map(|&(id, lvl)| (id.index(), lvl))
         .collect();
-    let mut heads = vec![0.0f64; n_nodes];
     let mut max_fixed_head = f64::NEG_INFINITY;
     for (id, node) in net.iter_nodes() {
         match &node.kind {
             NodeKind::Reservoir(r) => {
-                heads[id.index()] = r.head;
+                ws.heads[id.index()] = r.head;
                 max_fixed_head = max_fixed_head.max(r.head);
             }
             NodeKind::Tank(tank) => {
@@ -117,16 +134,31 @@ pub fn solve_snapshot(
                     .get(&id.index())
                     .copied()
                     .unwrap_or(tank.init_level);
-                heads[id.index()] = node.elevation + level;
-                max_fixed_head = max_fixed_head.max(heads[id.index()]);
+                ws.heads[id.index()] = node.elevation + level;
+                max_fixed_head = max_fixed_head.max(ws.heads[id.index()]);
             }
             NodeKind::Junction(_) => {}
         }
     }
-    // Initial junction heads: just below the highest source, which keeps
-    // early emitter linearizations sane.
-    for &j in &junctions {
-        heads[j.index()] = max_fixed_head - 1.0;
+    if ws.warm_is_usable() {
+        // Seed flows and junction heads from the previous converged
+        // solution (fixed heads above always reflect *this* scenario).
+        ws.load_warm();
+    } else {
+        // Cold start: junction heads just below the highest source (keeps
+        // early emitter linearizations sane), flows at ~0.3 m/s velocity.
+        for ji in 0..n_junc {
+            let j = ws.junctions[ji];
+            ws.heads[j.index()] = max_fixed_head - 1.0;
+        }
+        for (li, link) in net.links().iter().enumerate() {
+            let d = match &link.kind {
+                LinkKind::Pipe(p) => p.diameter,
+                LinkKind::Valve(v) => v.diameter,
+                LinkKind::Pump(_) => 0.3,
+            };
+            ws.flows[li] = 0.3 * std::f64::consts::PI * d * d / 4.0;
+        }
     }
 
     // Demands with scenario scaling (scale <= 0 is treated as nominal).
@@ -135,29 +167,15 @@ pub fn solve_snapshot(
     } else {
         1.0
     };
-    let demands: Vec<f64> = (0..n_nodes)
-        .map(|i| net.demand_at(NodeId::from_index(i), t) * scale)
-        .collect();
+    for i in 0..n_nodes {
+        ws.demands[i] = net.demand_at(NodeId::from_index(i), t) * scale;
+    }
 
     let emitters: HashMap<NodeId, Emitter> = scenario.active_emitters(t);
 
-    // Initial flows: ~0.3 m/s velocity in each open link.
-    let mut flows: Vec<f64> = net
-        .links()
-        .iter()
-        .map(|link| {
-            let d = match &link.kind {
-                LinkKind::Pipe(p) => p.diameter,
-                LinkKind::Valve(v) => v.diameter,
-                LinkKind::Pump(_) => 0.3,
-            };
-            0.3 * std::f64::consts::PI * d * d / 4.0
-        })
-        .collect();
-
     // Check-valve / pump reverse-flow bookkeeping: links temporarily closed
     // by status logic this solve.
-    let mut temp_closed = vec![false; n_links];
+    ws.temp_closed.fill(false);
 
     let mut iterations = 0;
     loop {
@@ -170,13 +188,11 @@ pub fn solve_snapshot(
         }
 
         // Per-link linearization: conductance p and intercept s = q - p*h(q).
-        let mut p_link = vec![0.0f64; n_links];
-        let mut s_link = vec![0.0f64; n_links];
         for (lid, link) in net.iter_links() {
             let li = lid.index();
-            let q = flows[li];
+            let q = ws.flows[li];
             let status = scenario.link_status(lid, link.status);
-            let closed = status == LinkStatus::Closed || temp_closed[li];
+            let closed = status == LinkStatus::Closed || ws.temp_closed[li];
             let (h, g) = if closed {
                 (CLOSED_RESISTANCE * q, CLOSED_RESISTANCE)
             } else {
@@ -191,11 +207,13 @@ pub fn solve_snapshot(
                         let w = pump.speed.max(1e-3);
                         let curve = &pump.curve;
                         let qq = q.clamp(1e-6, curve.max_flow() * w);
-                        let gain = w * w
+                        let gain = w
+                            * w
                             * (curve.shutoff_head - curve.coeff * (qq / w).powf(curve.exponent));
-                        let grad =
-                            curve.exponent * curve.coeff * w.powf(2.0 - curve.exponent)
-                                * qq.powf(curve.exponent - 1.0);
+                        let grad = curve.exponent
+                            * curve.coeff
+                            * w.powf(2.0 - curve.exponent)
+                            * qq.powf(curve.exponent - 1.0);
                         (-gain, grad)
                     }
                     LinkKind::Valve(valve) => {
@@ -205,7 +223,8 @@ pub fn solve_snapshot(
                             // target flow produces a ~5 m loss.
                             ValveKind::Fcv => {
                                 let m_needed = 5.0 / valve.setting.max(1e-4).powi(2);
-                                m_needed * valve.diameter.powi(4)
+                                m_needed
+                                    * valve.diameter.powi(4)
                                     * crate::GRAVITY
                                     * std::f64::consts::PI.powi(2)
                                     / 8.0
@@ -218,83 +237,51 @@ pub fn solve_snapshot(
             };
             let g = g.clamp(MIN_GRADIENT, f64::INFINITY);
             let p = (1.0 / g).min(MAX_CONDUCTANCE);
-            p_link[li] = p;
-            s_link[li] = q - p * h;
+            ws.p_link[li] = p;
+            ws.s_link[li] = q - p * h;
         }
 
-        // Assemble A·H = F over junction rows.
-        let mut rhs = vec![0.0f64; n_junc];
-        for (row, &j) in junctions.iter().enumerate() {
-            rhs[row] = -demands[j.index()];
+        // Assemble the right-hand side F of A·H = F over junction rows.
+        for (row, &j) in ws.junctions.iter().enumerate() {
+            ws.rhs[row] = -ws.demands[j.index()];
         }
         // Emitter linearization around current heads.
-        let mut emitter_diag = vec![0.0f64; n_junc];
+        ws.emitter_diag.fill(0.0);
         for (&node, emitter) in &emitters {
-            if let Some(row) = row_of[node.index()] {
+            if let Some(row) = ws.row_of[node.index()] {
                 let elev = net.node(node).elevation;
-                let pressure = heads[node.index()] - elev;
+                let pressure = ws.heads[node.index()] - elev;
                 let q0 = emitter.flow(pressure);
                 let de = emitter.flow_gradient(pressure);
-                emitter_diag[row] = de;
+                ws.emitter_diag[row] = de;
                 // -q_e(H) ≈ -q0 - de·(H - H0) → move de·H to LHS diag,
                 // constants to RHS.
-                rhs[row] += -q0 + de * heads[node.index()];
+                ws.rhs[row] += -q0 + de * ws.heads[node.index()];
             }
         }
         for (lid, link) in net.iter_links() {
             let li = lid.index();
-            let (p, s) = (p_link[li], s_link[li]);
-            let rf = row_of[link.from.index()];
-            let rt = row_of[link.to.index()];
+            let (p, s) = (ws.p_link[li], ws.s_link[li]);
+            let (rf, rt) = ws.link_rows[li];
             // Flow into `to` is +q ≈ s + p(H_from - H_to);
             // flow out of `from` is the same q.
             if let Some(r) = rt {
-                rhs[r] += s;
+                ws.rhs[r] += s;
             }
             if let Some(r) = rf {
-                rhs[r] -= s;
+                ws.rhs[r] -= s;
             }
             match (rf, rt) {
                 (Some(_), Some(_)) | (None, None) => {}
-                (Some(r), None) => rhs[r] += p * heads[link.to.index()],
-                (None, Some(r)) => rhs[r] += p * heads[link.from.index()],
+                (Some(r), None) => ws.rhs[r] += p * ws.heads[link.to.index()],
+                (None, Some(r)) => ws.rhs[r] += p * ws.heads[link.from.index()],
             }
         }
 
-        let solution = match effective_backend(opts.backend, n_junc) {
-            LinearBackend::Dense => {
-                let mut a = DenseSpd::zeros(n_junc);
-                for (row, diag) in emitter_diag.iter().enumerate() {
-                    a.add_sym(row, row, *diag);
-                }
-                assemble(net, scenario, &row_of, &p_link, |i, j, v| {
-                    a.add_sym(i, j, v)
-                });
-                a.solve(&rhs)
-            }
-            _ => {
-                let mut b = SparseBuilder::new(n_junc);
-                for (row, diag) in emitter_diag.iter().enumerate() {
-                    if *diag != 0.0 {
-                        b.add_sym(row, row, *diag);
-                    }
-                }
-                assemble(net, scenario, &row_of, &p_link, |i, j, v| {
-                    b.add_sym(i, j, v)
-                });
-                let m = b.build();
-                conjugate_gradient(&m, &rhs, 1e-12, 20 * n_junc.max(50))
-            }
-        };
-        let h_junc = solution.ok_or(HydraulicError::LinearSolveFailed {
-            detail: "normal matrix not positive definite (isolated junction?)",
-        })?;
-        if h_junc.iter().any(|h| !h.is_finite()) {
-            return Err(HydraulicError::NumericalBlowup);
-        }
-        for (row, &j) in junctions.iter().enumerate() {
-            heads[j.index()] = h_junc[row];
-        }
+        // Matrix assembly + linear solve happen inside the workspace,
+        // writing conductances through the cached CSR slot map.
+        let use_dense = effective_backend(opts.backend, n_junc) == LinearBackend::Dense;
+        ws.solve_linear_into_heads(use_dense)?;
 
         // Flow update and convergence measure.
         let mut flow_change = 0.0;
@@ -302,8 +289,8 @@ pub fn solve_snapshot(
         let mut status_flipped = false;
         for (lid, link) in net.iter_links() {
             let li = lid.index();
-            let dh = heads[link.from.index()] - heads[link.to.index()];
-            let mut q_new = s_link[li] + p_link[li] * dh;
+            let dh = ws.heads[link.from.index()] - ws.heads[link.to.index()];
+            let mut q_new = ws.s_link[li] + ws.p_link[li] * dh;
 
             // Status logic: check valves and pumps admit no reverse flow.
             let no_reverse = match &link.kind {
@@ -312,7 +299,7 @@ pub fn solve_snapshot(
                 LinkKind::Valve(_) => false,
             };
             if no_reverse {
-                if temp_closed[li] {
+                if ws.temp_closed[li] {
                     // Re-open when the head gradient favors forward flow.
                     let favor = match &link.kind {
                         LinkKind::Pump(pump) => {
@@ -321,18 +308,18 @@ pub fn solve_snapshot(
                         _ => dh > 0.0,
                     };
                     if favor {
-                        temp_closed[li] = false;
+                        ws.temp_closed[li] = false;
                         status_flipped = true;
                     }
                 } else if q_new < -1e-9 {
-                    temp_closed[li] = true;
+                    ws.temp_closed[li] = true;
                     q_new = 0.0;
                     status_flipped = true;
                 }
             }
-            flow_change += (q_new - flows[li]).abs();
+            flow_change += (q_new - ws.flows[li]).abs();
             flow_total += q_new.abs();
-            flows[li] = q_new;
+            ws.flows[li] = q_new;
         }
 
         let residual = if flow_total > 1e-12 {
@@ -357,16 +344,19 @@ pub fn solve_snapshot(
     // Final emitter flows at the converged heads.
     let mut emitter_flows = vec![0.0f64; n_nodes];
     for (&node, emitter) in &emitters {
-        let pressure = heads[node.index()] - net.node(node).elevation;
+        let pressure = ws.heads[node.index()] - net.node(node).elevation;
         emitter_flows[node.index()] = emitter.flow(pressure);
     }
 
+    // The converged solution seeds the next solve on this workspace.
+    ws.store_warm();
+
     Ok(Snapshot {
         time: t,
-        heads,
-        flows,
-        elevations: net.nodes().iter().map(|n| n.elevation).collect(),
-        demands,
+        heads: ws.heads.clone(),
+        flows: ws.flows.clone(),
+        elevations: ws.elevations.clone(),
+        demands: ws.demands.clone(),
         emitter_flows,
         iterations,
     })
@@ -382,30 +372,6 @@ fn effective_backend(requested: LinearBackend, n_junc: usize) -> LinearBackend {
             }
         }
         other => other,
-    }
-}
-
-/// Adds every link's conductance stencil to the normal matrix via `add`.
-fn assemble(
-    net: &Network,
-    _scenario: &Scenario,
-    row_of: &[Option<usize>],
-    p_link: &[f64],
-    mut add: impl FnMut(usize, usize, f64),
-) {
-    for (lid, link) in net.iter_links() {
-        let p = p_link[lid.index()];
-        let rf = row_of[link.from.index()];
-        let rt = row_of[link.to.index()];
-        if let Some(r) = rf {
-            add(r, r, p);
-        }
-        if let Some(r) = rt {
-            add(r, r, p);
-        }
-        if let (Some(a), Some(b)) = (rf, rt) {
-            add(a, b, -p);
-        }
     }
 }
 
@@ -489,9 +455,7 @@ mod tests {
             expected
         );
         // The pipe carries exactly the leak flow.
-        assert!(
-            (snap.flow(aqua_net::LinkId::from_index(0)) - snap.emitter_flow(j)).abs() < 1e-6
-        );
+        assert!((snap.flow(aqua_net::LinkId::from_index(0)) - snap.emitter_flow(j)).abs() < 1e-6);
     }
 
     #[test]
@@ -536,7 +500,11 @@ mod tests {
         let p2 = net.add_pipe("P2", r, j, 1000.0, 0.3, 130.0).unwrap();
         let scenario = Scenario::new().with_link_status(p2, LinkStatus::Closed);
         let snap = solve_snapshot(&net, &scenario, 0, &SolverOptions::default()).unwrap();
-        assert!(snap.flow(p2).abs() < 1e-7, "closed pipe flow {}", snap.flow(p2));
+        assert!(
+            snap.flow(p2).abs() < 1e-7,
+            "closed pipe flow {}",
+            snap.flow(p2)
+        );
         assert!((snap.flow(p1) - 0.02).abs() < 1e-6);
     }
 
@@ -616,19 +584,9 @@ mod tests {
         assert!(snap.total_leakage() > 0.0);
     }
 
-    #[test]
-    fn dense_and_sparse_backends_agree() {
-        let net = aqua_net::synth::epa_net();
-        let mut dense_opts = SolverOptions::default();
-        dense_opts.backend = LinearBackend::Dense;
-        let mut sparse_opts = SolverOptions::default();
-        sparse_opts.backend = LinearBackend::SparseCg;
-        let a = solve_snapshot(&net, &Scenario::default(), 0, &dense_opts).unwrap();
-        let b = solve_snapshot(&net, &Scenario::default(), 0, &sparse_opts).unwrap();
-        for (ha, hb) in a.heads.iter().zip(&b.heads) {
-            assert!((ha - hb).abs() < 1e-4, "{ha} vs {hb}");
-        }
-    }
+    // `dense_and_sparse_backends_agree` was promoted to a proptest over
+    // randomized synth networks exercising the workspace path — see
+    // tests/warm_start_props.rs.
 
     #[test]
     fn all_junctions_pressurized_on_both_networks() {

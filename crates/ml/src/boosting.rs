@@ -129,8 +129,7 @@ impl Classifier for GradientBoosting {
             return Err(MlError::NotFitted);
         }
         check_predict(x, self.n_features)?;
-        Ok(x
-            .iter_rows()
+        Ok(x.iter_rows()
             .map(|row| sigmoid(self.raw_score(row)))
             .collect())
     }
@@ -158,8 +157,7 @@ mod tests {
         let mut gb = GradientBoosting::default();
         gb.fit(&x, &y).unwrap();
         let pred = gb.predict(&x).unwrap();
-        let acc =
-            pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.97, "accuracy {acc}");
     }
 

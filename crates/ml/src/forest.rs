@@ -89,12 +89,21 @@ impl Classifier for RandomForest {
 
         self.trees = (0..self.config.n_trees)
             .map(|t| {
-                let mut tree_rng = StdRng::seed_from_u64(self.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+                let mut tree_rng = StdRng::seed_from_u64(
+                    self.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1),
+                );
                 // Bootstrap over the (balanced) base index set.
                 let sample: Vec<usize> = (0..base.len())
                     .map(|_| base[tree_rng.random_range(0..base.len())])
                     .collect();
-                GrownTree::grow(x, &targets, &sample, Criterion::Gini, &tree_config, &mut tree_rng)
+                GrownTree::grow(
+                    x,
+                    &targets,
+                    &sample,
+                    Criterion::Gini,
+                    &tree_config,
+                    &mut tree_rng,
+                )
             })
             .collect();
         self.n_features = Some(x.cols());
@@ -106,11 +115,9 @@ impl Classifier for RandomForest {
             return Err(MlError::NotFitted);
         }
         check_predict(x, self.n_features)?;
-        Ok(x
-            .iter_rows()
+        Ok(x.iter_rows()
             .map(|row| {
-                self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>()
-                    / self.trees.len() as f64
+                self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>() / self.trees.len() as f64
             })
             .collect())
     }

@@ -115,8 +115,7 @@ mod tests {
         let mut h = HybridRsl::default();
         h.fit(&x, &y).unwrap();
         let pred = h.predict(&x).unwrap();
-        let acc =
-            pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.95, "accuracy {acc}");
     }
 

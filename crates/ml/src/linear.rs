@@ -67,8 +67,7 @@ impl Classifier for LinearRegressionClassifier {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
         let w = self.weights.as_ref().ok_or(MlError::NotFitted)?;
         check_predict(x, Some(w.len() - 1))?;
-        Ok(x
-            .iter_rows()
+        Ok(x.iter_rows()
             .map(|row| self.score(row, w).clamp(0.0, 1.0))
             .collect())
     }
@@ -188,8 +187,7 @@ impl Classifier for LogisticRegression {
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
         let w = self.weights.as_ref().ok_or(MlError::NotFitted)?;
         check_predict(x, Some(w.len() - 1))?;
-        Ok(x
-            .iter_rows()
+        Ok(x.iter_rows()
             .map(|row| {
                 let mut z = w[row.len()];
                 for (xi, wi) in row.iter().zip(w) {
@@ -232,7 +230,11 @@ mod tests {
         let mut clf = LogisticRegression::default();
         clf.fit(&x, &y).unwrap();
         let p = clf
-            .predict_proba(&Matrix::from_rows(&[&[-2.0, -0.9], &[0.1, 0.15], &[2.0, 1.1]]))
+            .predict_proba(&Matrix::from_rows(&[
+                &[-2.0, -0.9],
+                &[0.1, 0.15],
+                &[2.0, 1.1],
+            ]))
             .unwrap();
         assert!(p[0] < p[1] && p[1] < p[2]);
         assert!(p[0] < 0.1 && p[2] > 0.9);

@@ -83,7 +83,11 @@ pub fn precision_recall_f1(pred: &[u8], truth: &[u8]) -> (f64, f64, f64) {
         .filter(|(&p, &t)| p == 0 && t == 1)
         .count() as f64;
     let precision = if tp + fp == 0.0 { 1.0 } else { tp / (tp + fp) };
-    let recall = if tp + fn_ == 0.0 { 1.0 } else { tp / (tp + fn_) };
+    let recall = if tp + fn_ == 0.0 {
+        1.0
+    } else {
+        tp / (tp + fn_)
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {

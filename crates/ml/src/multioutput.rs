@@ -147,13 +147,12 @@ mod tests {
     #[test]
     fn fits_one_model_per_output() {
         let (x, labels) = data(200);
-        let model =
-            MultiOutputModel::fit(ModelKind::logistic_r(), &x, &labels, 0, 1).unwrap();
+        let model = MultiOutputModel::fit(ModelKind::logistic_r(), &x, &labels, 0, 1).unwrap();
         assert_eq!(model.outputs(), 3);
         let preds = model.predict(&x).unwrap();
         for (v, y) in labels.iter().enumerate() {
-            let acc = preds[v].iter().zip(y).filter(|(a, b)| a == b).count() as f64
-                / y.len() as f64;
+            let acc =
+                preds[v].iter().zip(y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
             assert!(acc > 0.95, "output {v} accuracy {acc}");
         }
     }
@@ -172,8 +171,7 @@ mod tests {
     #[test]
     fn predict_proba_one_matches_batch() {
         let (x, labels) = data(100);
-        let model =
-            MultiOutputModel::fit(ModelKind::logistic_r(), &x, &labels, 0, 2).unwrap();
+        let model = MultiOutputModel::fit(ModelKind::logistic_r(), &x, &labels, 0, 2).unwrap();
         let batch = model.predict_proba(&x).unwrap();
         let single = model.predict_proba_one(x.row(5)).unwrap();
         for v in 0..3 {

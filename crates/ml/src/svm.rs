@@ -207,7 +207,11 @@ mod tests {
         let mut svm = LinearSvm::default();
         svm.fit(&x, &y).unwrap();
         let p = svm
-            .predict_proba(&Matrix::from_rows(&[&[-3.0, -3.0], &[0.0, 0.0], &[3.0, 3.0]]))
+            .predict_proba(&Matrix::from_rows(&[
+                &[-3.0, -3.0],
+                &[0.0, 0.0],
+                &[3.0, 3.0],
+            ]))
             .unwrap();
         assert!(p[0] < p[1] && p[1] < p[2], "{p:?}");
         assert!(p[0] < 0.2 && p[2] > 0.8);

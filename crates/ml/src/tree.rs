@@ -162,10 +162,8 @@ impl GrownTree {
         for &f in &features[..k] {
             // Exact split search: sort once, sweep every boundary between
             // distinct values with prefix sums — O(n log n) per feature.
-            let mut order: Vec<(f64, f64)> = indices
-                .iter()
-                .map(|&i| (x.get(i, f), targets[i]))
-                .collect();
+            let mut order: Vec<(f64, f64)> =
+                indices.iter().map(|&i| (x.get(i, f), targets[i])).collect();
             order.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
             let total_sum: f64 = order.iter().map(|(_, t)| t).sum();
             let total_sumsq: f64 = order.iter().map(|(_, t)| t * t).sum();
@@ -388,7 +386,11 @@ mod tests {
             .predict_proba(&Matrix::from_rows(&[&[-1.0], &[2.9]]))
             .unwrap();
         assert!((p[0] - 0.0).abs() < 1e-9, "pure left leaf: {}", p[0]);
-        assert!((p[1] - 2.0 / 3.0).abs() < 1e-9, "mixed right leaf: {}", p[1]);
+        assert!(
+            (p[1] - 2.0 / 3.0).abs() < 1e-9,
+            "mixed right leaf: {}",
+            p[1]
+        );
     }
 
     #[test]

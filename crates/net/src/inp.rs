@@ -71,7 +71,10 @@ impl fmt::Display for InpError {
             }
             InpError::Net(e) => write!(f, "network error: {e}"),
             InpError::UnsupportedUnits { units } => {
-                write!(f, "unsupported flow units `{units}` (only LPS is supported)")
+                write!(
+                    f,
+                    "unsupported flow units `{units}` (only LPS is supported)"
+                )
             }
         }
     }
@@ -320,10 +323,12 @@ pub fn parse_inp(text: &str) -> Result<Network, InpError> {
     }
 
     let resolve = |line: usize, name: &str, ids: &HashMap<String, NodeId>| {
-        ids.get(name).copied().ok_or_else(|| InpError::UnknownReference {
-            line,
-            name: name.to_string(),
-        })
+        ids.get(name)
+            .copied()
+            .ok_or_else(|| InpError::UnknownReference {
+                line,
+                name: name.to_string(),
+            })
     };
 
     for (line_no, fields) in &pipes {
@@ -344,10 +349,12 @@ pub fn parse_inp(text: &str) -> Result<Network, InpError> {
     for pump in &pumps {
         let from = resolve(pump.line, &pump.from, &node_ids)?;
         let to = resolve(pump.line, &pump.to, &node_ids)?;
-        let points = curves.get(&pump.curve).ok_or_else(|| InpError::UnknownReference {
-            line: pump.line,
-            name: pump.curve.clone(),
-        })?;
+        let points = curves
+            .get(&pump.curve)
+            .ok_or_else(|| InpError::UnknownReference {
+                line: pump.line,
+                name: pump.curve.clone(),
+            })?;
         // Single-point curve: EPANET's design-point convention. Flow in LPS.
         let &(q_lps, head) = points.first().ok_or(InpError::MalformedLine {
             line: pump.line,
@@ -472,8 +479,8 @@ pub fn write_inp(net: &Network) -> String {
             let curve_name = format!("C-{}", link.name);
             // Recover the design point: h_design = 3/4 h0, q_design from it.
             let h_design = p.curve.shutoff_head * 0.75;
-            let q_design = ((p.curve.shutoff_head - h_design) / p.curve.coeff)
-                .powf(1.0 / p.curve.exponent);
+            let q_design =
+                ((p.curve.shutoff_head - h_design) / p.curve.coeff).powf(1.0 / p.curve.exponent);
             pump_curves.push((curve_name.clone(), q_design / LPS_TO_M3S, h_design));
             let _ = writeln!(
                 out,
@@ -519,8 +526,7 @@ pub fn write_inp(net: &Network) -> String {
                 if seen.insert(p.index()) {
                     let pat = net.pattern(p);
                     for chunk in pat.multipliers().chunks(6) {
-                        let values: Vec<String> =
-                            chunk.iter().map(|m| format!("{m:.4}")).collect();
+                        let values: Vec<String> = chunk.iter().map(|m| format!("{m:.4}")).collect();
                         let _ = writeln!(out, " {}\t{}", pat.name, values.join("\t"));
                     }
                 }

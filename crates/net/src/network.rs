@@ -73,7 +73,7 @@ impl Network {
     }
 
     fn positive(what: &'static str, value: f64) -> Result<(), NetError> {
-        if !(value > 0.0) || !value.is_finite() {
+        if value <= 0.0 || !value.is_finite() {
             return Err(NetError::InvalidParameter { what, value });
         }
         Ok(())
@@ -395,18 +395,12 @@ impl Network {
 
     /// Looks a node up by name (linear scan; intended for tests and tools).
     pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(NodeId)
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
     }
 
     /// Looks a link up by name (linear scan; intended for tests and tools).
     pub fn link_by_name(&self, name: &str) -> Option<LinkId> {
-        self.links
-            .iter()
-            .position(|l| l.name == name)
-            .map(LinkId)
+        self.links.iter().position(|l| l.name == name).map(LinkId)
     }
 
     /// Demand of a junction at absolute time `t` seconds (base × pattern).

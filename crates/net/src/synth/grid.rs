@@ -202,10 +202,9 @@ impl GridNetworkBuilder {
         let mut candidates: Vec<(NodeId, NodeId, bool)> = Vec::new();
         for c in 0..self.columns {
             for r in 0..self.rows.saturating_sub(1) {
-                if let (Some(a), Some(b)) = (
-                    cell[r * self.columns + c],
-                    cell[(r + 1) * self.columns + c],
-                ) {
+                if let (Some(a), Some(b)) =
+                    (cell[r * self.columns + c], cell[(r + 1) * self.columns + c])
+                {
                     candidates.push((a, b, c == 0));
                 }
             }

@@ -73,15 +73,8 @@ pub fn epa_net() -> Network {
         let t = net
             .add_tank(format!("T{}", i + 1), bottom, tank_spec.clone(), (x, y))
             .expect("tank names are unique");
-        net.add_pipe(
-            format!("PT{}", i + 1),
-            t,
-            j,
-            60.0,
-            0.35,
-            130.0,
-        )
-        .expect("tank riser pipe");
+        net.add_pipe(format!("PT{}", i + 1), t, j, 60.0, 0.35, 130.0)
+            .expect("tank riser pipe");
     }
 
     // Two low-lying water sources, each feeding the grid through a pump.

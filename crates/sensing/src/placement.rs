@@ -91,7 +91,8 @@ pub fn k_medoids_placement(
         if m < net.node_count() {
             set.pressure_nodes.push(NodeId::from_index(m));
         } else {
-            set.flow_links.push(LinkId::from_index(m - net.node_count()));
+            set.flow_links
+                .push(LinkId::from_index(m - net.node_count()));
         }
     }
     set.pressure_nodes.sort();

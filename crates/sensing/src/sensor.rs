@@ -57,7 +57,8 @@ impl SensorSet {
             if c < net.node_count() {
                 set.pressure_nodes.push(NodeId::from_index(c));
             } else {
-                set.flow_links.push(LinkId::from_index(c - net.node_count()));
+                set.flow_links
+                    .push(LinkId::from_index(c - net.node_count()));
             }
         }
         set.pressure_nodes.sort();

@@ -60,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for hour in 1..=6 {
         wq.run(&net, &restored, dt, 60, &sources);
         let (n, max) = spread(&wq);
-        println!("act 2, +{hour} h after restoration: {n} junctions above 1 mg/L (max {max:.1} mg/L)");
+        println!(
+            "act 2, +{hour} h after restoration: {n} junctions above 1 mg/L (max {max:.1} mg/L)"
+        );
     }
     println!("\n(advisory zone = junctions above threshold; couple with the");
     println!(" isolation planner in aqua-core to contain the plume.)");

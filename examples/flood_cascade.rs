@@ -16,10 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // time".
     let v1 = junctions[60];
     let v2 = junctions[230];
-    let scenario = Scenario::new().with_leaks([
-        LeakEvent::new(v1, 0.03, 0),
-        LeakEvent::new(v2, 0.008, 0),
-    ]);
+    let scenario =
+        Scenario::new().with_leaks([LeakEvent::new(v1, 0.03, 0), LeakEvent::new(v2, 0.008, 0)]);
     println!(
         "leaks: v1 = {} (EC 0.03), v2 = {} (EC 0.008)",
         net.node(v1).name,
@@ -47,6 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let stats = DepthStats::of(&sim);
     println!("mean depth over wet cells: {:.3} m", stats.mean_wet);
-    println!("\ninundation map (deepest = '@'):\n{}", ascii_depth_map(&sim));
+    println!(
+        "\ninundation map (deepest = '@'):\n{}",
+        ascii_depth_map(&sim)
+    );
     Ok(())
 }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let budget_fraction = 0.15;
     let k = (total as f64 * budget_fraction).round() as usize;
-    println!("device budget: {k} sensors ({:.0}%)\n", budget_fraction * 100.0);
+    println!(
+        "device budget: {k} sensors ({:.0}%)\n",
+        budget_fraction * 100.0
+    );
 
     let kmedoids = k_medoids_placement(&net, k, &PlacementConfig::default())?;
     println!(

@@ -54,7 +54,11 @@ fn full_fusion_pipeline_runs_on_wssc() {
         .evaluate(&aqua, &profile, &test, SourceMix::IotTempHuman, 4)
         .expect("evaluate");
     assert!(fused.hamming > 0.2, "fused score {}", fused.hamming);
-    assert!(fused.mean_latency_s < 1.0, "latency {}", fused.mean_latency_s);
+    assert!(
+        fused.mean_latency_s < 1.0,
+        "latency {}",
+        fused.mean_latency_s
+    );
 }
 
 #[test]
@@ -117,9 +121,11 @@ fn profile_survives_sensor_reduction_gracefully() {
     let sparse_pred = sparse
         .predict_batch(&sparse_profile, &sparse_test.x)
         .unwrap();
-    let sparse_score =
-        aquascale::ml::metrics::hamming_score(&sparse_pred, &sparse_test.labels);
+    let sparse_score = aquascale::ml::metrics::hamming_score(&sparse_pred, &sparse_test.labels);
 
-    assert!(full_score > sparse_score - 0.05, "full {full_score} sparse {sparse_score}");
+    assert!(
+        full_score > sparse_score - 0.05,
+        "full {full_score} sparse {sparse_score}"
+    );
     assert!(sparse_score > 0.1, "sparse pipeline still informative");
 }

@@ -26,7 +26,9 @@ fn fig2_pressure_change_vs_distance_shape() {
 
     let ring_sums = |scenario: &Scenario| -> Vec<f64> {
         let snap = solve_snapshot(&net, scenario, 0, &opts).unwrap();
-        let rings = [0.0, 600.0, 1200.0, 1800.0, 2400.0, 3000.0, 3600.0, 4200.0, 4800.0];
+        let rings = [
+            0.0, 600.0, 1200.0, 1800.0, 2400.0, 3000.0, 3600.0, 4200.0, 4800.0,
+        ];
         rings
             .windows(2)
             .map(|w| {
@@ -82,7 +84,10 @@ fn fig3_break_rate_shape() {
     let warm = m.expected_breaks(70.0);
     let cool = m.expected_breaks(35.0);
     let freezing = m.expected_breaks(15.0);
-    assert!((warm - m.expected_breaks(85.0)).abs() < 0.05, "warm plateau");
+    assert!(
+        (warm - m.expected_breaks(85.0)).abs() < 0.05,
+        "warm plateau"
+    );
     assert!(cool < freezing, "rate rises as temperature falls");
     assert!(freezing > 2.5 * warm, "cold extreme multiples of baseline");
 }

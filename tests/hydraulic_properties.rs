@@ -1,9 +1,7 @@
 //! Property-based tests on the hydraulic engine: invariants that must hold
 //! for arbitrary networks and failure scenarios.
 
-use aquascale::hydraulics::{
-    solve_snapshot, LeakEvent, LinearBackend, Scenario, SolverOptions,
-};
+use aquascale::hydraulics::{solve_snapshot, LeakEvent, LinearBackend, Scenario, SolverOptions};
 use aquascale::net::synth::GridNetworkBuilder;
 use proptest::prelude::*;
 

@@ -1,0 +1,223 @@
+//! Offline vendored micro-bench harness with the `criterion` API subset the
+//! workspace's benches use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical machinery this shim warms each
+//! bench up briefly, then reports the median of `sample_size` timed
+//! batches as one line on stdout:
+//!
+//! ```text
+//! bench group/name ... median 1.234 ms/iter (20 samples)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized bench (shim of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display into one id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.label.fmt(f)
+    }
+}
+
+/// The per-bench timing handle (shim of `criterion::Bencher`).
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording `sample_size` batches after warmup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and batch-size calibration: aim for batches of >= ~5 ms
+        // so Instant overhead vanishes, but cap calibration effort.
+        let mut batch = 1usize;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// The bench driver (shim of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone bench.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(name, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            _parent: self,
+        }
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// A group of related benches (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one bench in this group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized bench in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op beyond symmetry with criterion).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher<'_>),
+{
+    let mut samples = Vec::with_capacity(sample_size);
+    {
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size,
+        };
+        f(&mut bencher);
+    }
+    if samples.is_empty() {
+        println!("bench {label} ... no samples recorded");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "bench {label} ... median {} ({} samples)",
+        format_duration(median),
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s/iter", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms/iter", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us/iter", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns/iter")
+    }
+}
+
+/// Bundles bench functions into a runner (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (shim of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_prints() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_run_all_forms() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("plain", |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        g.finish();
+    }
+}

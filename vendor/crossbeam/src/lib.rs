@@ -1,0 +1,74 @@
+//! Offline vendored shim of the `crossbeam` API this workspace uses:
+//! `crossbeam::thread::scope` with `Scope::spawn`, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63, which postdates
+//! crossbeam's scoped threads and makes them redundant here).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads (shim of `crossbeam::thread`).
+pub mod thread {
+    /// A scope handle passed to [`scope`]'s closure; mirrors
+    /// `crossbeam::thread::Scope` for the `spawn` call sites.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope again so it could spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a thread scope, joining every spawned thread before
+    /// returning. Mirrors crossbeam's `Result`-wrapped signature: `Ok` is
+    /// returned whenever `f` itself completes (std's scope re-raises child
+    /// panics at join, so the error arm is never constructed — call sites
+    /// use `.expect(..)`, which is satisfied either way).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![0u64; 4];
+        let out = thread::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+            "done"
+        })
+        .expect("no panics");
+        assert_eq!(out, "done");
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

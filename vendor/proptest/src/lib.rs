@@ -1,0 +1,386 @@
+//! Offline vendored mini property-testing harness.
+//!
+//! The registry is unreachable in the build container, so the real
+//! `proptest` crate cannot be downloaded. This shim implements the subset
+//! of its API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   multiple `#[test] fn name(pat in strategy, ...)` items),
+//! * [`Strategy`] with `prop_map`, range strategies over ints and floats,
+//!   tuple composition, [`Just`] and [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! deterministic seed derived from the test name (fully reproducible runs,
+//! no persistence files) and failing cases are reported without shrinking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the tier-1 gate fast while
+        // still exercising a meaningful spread of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator seeded deterministically from `name` (the test name),
+    /// so every run of a property explores the same case sequence.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, then SplitMix64 expansion.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut x = h;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of random values of one type (shim of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (shim of `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let v = self.start as f64
+                    + rng.unit_f64() * (self.end as f64 - self.start as f64);
+                if v >= self.end as f64 {
+                    <$t>::from_bits(self.end.to_bits().wrapping_sub(1))
+                } else {
+                    v as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (shim of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Lengths accepted by [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span) as usize
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the workspace's `use proptest::prelude::*` pulls in.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+
+    /// Namespace mirror so `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property body (panics with the case's
+/// message on failure; this shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Defines property tests (shim of `proptest::proptest!`).
+///
+/// Supports the two forms the workspace uses: with and without a
+/// `#![proptest_config(..)]` header, each followed by any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("t");
+        let s = (2usize..6, 0.5f64..1.5).prop_map(|(n, x)| n as f64 * x);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1.0..9.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = crate::TestRng::deterministic("v");
+        let s = collection::vec(0u8..2, 4..40);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((4..40).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u64..10, 0u64..10), c in 0.0f64..1.0) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!((0.0..1.0).contains(&c));
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    #[test]
+    fn macro_generated_test_runs() {
+        macro_binds_patterns();
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline vendored shim of the `rand` 0.9 API surface this workspace uses.
+//!
+//! The build container has no registry access, so the real `rand` crate
+//! cannot be downloaded. This shim provides drop-in replacements for the
+//! exact items the workspace imports — [`rngs::StdRng`], [`SeedableRng`]
+//! and [`Rng::random_range`] — with a deterministic xoshiro256++ generator
+//! seeded through SplitMix64. Stream values differ from upstream `rand`
+//! (the workspace never pins golden random sequences; it only requires
+//! determinism per seed), but the statistical quality is comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing random value generation (shim of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Types [`Rng::random_range`] can produce (shim of
+/// `rand::distr::uniform::SampleUniform`). The per-type sampling lives
+/// here so [`SampleRange`] can be a single blanket impl per range shape —
+/// exactly the structure that lets the compiler infer `f64` from
+/// `rng.random_range(-15.0..15.0)` in an arithmetic context.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<G: Rng>(lo: Self, hi: Self, rng: &mut G) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<G: Rng>(lo: Self, hi: Self, rng: &mut G) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: Rng>(lo: Self, hi: Self, rng: &mut G) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as u128) - (lo as u128);
+                (lo as u128).wrapping_add(uniform_u128_below(rng, span)) as $t
+            }
+            fn sample_inclusive<G: Rng>(lo: Self, hi: Self, rng: &mut G) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                (lo as u128).wrapping_add(uniform_u128_below(rng, span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: Rng>(lo: Self, hi: Self, rng: &mut G) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = lo as f64 + unit * (hi as f64 - lo as f64);
+                // Guard against rounding up to the excluded endpoint.
+                if v >= hi as f64 {
+                    <$t>::from_bits(hi.to_bits().wrapping_sub(1))
+                } else {
+                    v as $t
+                }
+            }
+            fn sample_inclusive<G: Rng>(lo: Self, hi: Self, rng: &mut G) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges that can be sampled uniformly (shim of
+/// `rand::distr::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range using `rng`.
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: Rng>(self, rng: &mut G) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Uniform value in `[0, bound)` by 128-bit multiply (Lemire-style, without
+/// the rejection step — bias is < 2⁻⁶⁴ per draw, far below anything the
+/// workspace's statistical tests can resolve).
+fn uniform_u128_below<G: Rng>(rng: &mut G, bound: u128) -> u128 {
+    debug_assert!(bound > 0);
+    if bound <= u64::MAX as u128 {
+        let m = (rng.next_u64() as u128) * bound;
+        m >> 64
+    } else {
+        rng.next_u64() as u128 % bound
+    }
+}
+
+/// Concrete generators (shim of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Deterministic per seed; `Clone` captures the full stream state.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical xoshiro seeding routine.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna, 2018).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: usize = rng.random_range(1..=5);
+            assert!((1..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_range_bounds_and_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo_half = 0usize;
+        for _ in 0..1000 {
+            let v: f64 = rng.random_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&v));
+            if v < 0.0 {
+                lo_half += 1;
+            }
+        }
+        // Roughly balanced halves (very loose bound).
+        assert!((300..700).contains(&lo_half), "{lo_half}");
+    }
+
+    #[test]
+    fn tiny_positive_float_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline vendored shim of the `serde` items this workspace imports.
+//!
+//! Only the trait *names* and the derive macros are needed: the workspace
+//! derives `Serialize`/`Deserialize` on its types but never serializes
+//! (no `serde_json` or binary codec is compiled). The traits here are
+//! markers and the derives (from the sibling `serde_derive` shim) expand to
+//! nothing, which keeps every `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` site compiling unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented or bounded on
+/// in this workspace).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented or bounded
+/// on in this workspace).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,23 @@
+//! Offline vendored no-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace derives serde traits on its data types for downstream
+//! consumers, but no code in the workspace ever serializes (there is no
+//! `serde_json`/`bincode` in the build). The registry is unreachable in the
+//! build container, so these derives expand to nothing: the types still
+//! compile with their `#[serde(...)]` field attributes intact, and the
+//! marker traits in the sibling `serde` shim are simply never implemented
+//! (nothing bounds on them).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
