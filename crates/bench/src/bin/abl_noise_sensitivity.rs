@@ -29,6 +29,7 @@ fn main() {
                     flow_sigma: sigma * 0.005,
                 },
                 include_topology: false,
+                ..Default::default()
             },
             threads: 8,
             ..Default::default()

@@ -26,6 +26,7 @@ fn main() {
         features: FeatureConfig {
             noise: MeasurementNoise::none(),
             include_topology: false,
+            ..Default::default()
         },
         threads: 8,
         ..Default::default()

@@ -171,6 +171,7 @@ mod tests {
         let cfg = FeatureConfig {
             noise: MeasurementNoise::none(),
             include_topology: false,
+            ..Default::default()
         };
         let mut rng = StdRng::seed_from_u64(0);
         extract_features(net, sensors, &base, &after, &cfg, &mut rng)

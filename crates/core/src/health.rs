@@ -1,0 +1,217 @@
+//! Per-sensor health tracking for fault-tolerant Phase-II inference.
+//!
+//! A deployed [`MonitoringSession`](crate::MonitoringSession) cannot assume
+//! every channel reports a sane value on every 15-minute slot. This module
+//! holds the session's defenses: per-channel [`SensorHealth`] counters fed
+//! by three cheap online checks — staleness (consecutive missing readings),
+//! stuck detection (consecutive bit-identical values, which honest noisy
+//! telemetry essentially never produces), and plausibility bounds — plus a
+//! sticky quarantine once any counter crosses its [`HealthPolicy`]
+//! threshold. Quarantined channels stop contributing to the feature vector
+//! (their deltas are imputed as zero) but the session keeps emitting
+//! detections from the surviving channels.
+
+/// Online health state of one sensor channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorStatus {
+    /// Reporting normally.
+    Healthy,
+    /// At least one anomaly counter is non-zero but below threshold.
+    Suspect,
+    /// Failed a health check; excluded from inference (sticky).
+    Quarantined,
+}
+
+/// Thresholds for the per-channel health checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Consecutive missing readings before quarantine.
+    pub max_staleness: usize,
+    /// Consecutive bit-identical readings before quarantine (stuck-at).
+    /// `0` disables the check — required for noise-free channels, where
+    /// honest telemetry legitimately repeats exact values (the
+    /// [`MonitoringSession`](crate::MonitoringSession) disables it
+    /// automatically for channels whose noise sigma is zero).
+    pub max_repeats: usize,
+    /// Implausible (out-of-bounds) readings before quarantine.
+    pub max_implausible: usize,
+    /// Plausible pressure-head range, meters.
+    pub pressure_bounds: (f64, f64),
+    /// Plausible flow range, m³/s.
+    pub flow_bounds: (f64, f64),
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            max_staleness: 3,
+            max_repeats: 5,
+            max_implausible: 3,
+            // Generous physical envelopes: community networks run tens of
+            // meters of head and at most a few m³/s per pipe.
+            pressure_bounds: (-20.0, 500.0),
+            flow_bounds: (-50.0, 50.0),
+        }
+    }
+}
+
+/// Health counters for one sensor channel.
+#[derive(Debug, Clone)]
+pub struct SensorHealth {
+    /// Current status (quarantine is sticky).
+    pub status: SensorStatus,
+    /// Consecutive missing readings.
+    pub staleness: usize,
+    /// Consecutive bit-identical delivered values.
+    pub repeats: usize,
+    /// Implausible readings seen so far.
+    pub implausible: usize,
+    /// Last plausible delivered value (the LOCF imputation source).
+    pub last_value: Option<f64>,
+}
+
+impl Default for SensorHealth {
+    fn default() -> Self {
+        SensorHealth {
+            status: SensorStatus::Healthy,
+            staleness: 0,
+            repeats: 0,
+            implausible: 0,
+            last_value: None,
+        }
+    }
+}
+
+impl SensorHealth {
+    /// `true` once the channel is quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        self.status == SensorStatus::Quarantined
+    }
+
+    /// Folds one delivered reading (or `None` for missing) into the
+    /// counters under `policy`, with `bounds` the plausible value range for
+    /// this channel's physical quantity. Returns the value the session
+    /// should use for this slot: the delivered value when it passed the
+    /// checks, otherwise the last observation carried forward (`None` if
+    /// the channel has never delivered a plausible value).
+    pub fn ingest(
+        &mut self,
+        reading: Option<f64>,
+        bounds: (f64, f64),
+        policy: &HealthPolicy,
+    ) -> Option<f64> {
+        let used = match reading {
+            None => {
+                self.staleness += 1;
+                self.last_value
+            }
+            Some(v) if !v.is_finite() || v < bounds.0 || v > bounds.1 => {
+                self.implausible += 1;
+                // An implausible value also breaks any repeat streak — the
+                // channel is live, just wrong.
+                self.staleness = 0;
+                self.repeats = 0;
+                self.last_value
+            }
+            Some(v) => {
+                self.staleness = 0;
+                if policy.max_repeats > 0 {
+                    if self.last_value == Some(v) {
+                        self.repeats += 1;
+                    } else {
+                        self.repeats = 0;
+                    }
+                }
+                self.last_value = Some(v);
+                Some(v)
+            }
+        };
+        if self.status != SensorStatus::Quarantined {
+            self.status = if self.staleness >= policy.max_staleness
+                || (policy.max_repeats > 0 && self.repeats >= policy.max_repeats)
+                || self.implausible >= policy.max_implausible
+            {
+                SensorStatus::Quarantined
+            } else if self.staleness > 0 || self.repeats > 0 || self.implausible > 0 {
+                SensorStatus::Suspect
+            } else {
+                SensorStatus::Healthy
+            };
+        }
+        used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: (f64, f64) = (-20.0, 500.0);
+
+    #[test]
+    fn healthy_stream_stays_healthy() {
+        let policy = HealthPolicy::default();
+        let mut h = SensorHealth::default();
+        for i in 0..50 {
+            let used = h.ingest(Some(30.0 + i as f64 * 0.01), BOUNDS, &policy);
+            assert_eq!(used, Some(30.0 + i as f64 * 0.01));
+        }
+        assert_eq!(h.status, SensorStatus::Healthy);
+    }
+
+    #[test]
+    fn staleness_quarantines_and_carries_last_value_forward() {
+        let policy = HealthPolicy::default();
+        let mut h = SensorHealth::default();
+        h.ingest(Some(42.0), BOUNDS, &policy);
+        for _ in 0..policy.max_staleness {
+            let used = h.ingest(None, BOUNDS, &policy);
+            assert_eq!(used, Some(42.0), "LOCF while stale");
+        }
+        assert!(h.is_quarantined());
+        // Quarantine is sticky even if the channel recovers.
+        h.ingest(Some(41.0), BOUNDS, &policy);
+        assert!(h.is_quarantined());
+    }
+
+    #[test]
+    fn stuck_channel_is_quarantined_by_repeats() {
+        let policy = HealthPolicy::default();
+        let mut h = SensorHealth::default();
+        for _ in 0..=policy.max_repeats {
+            h.ingest(Some(13.37), BOUNDS, &policy);
+        }
+        assert!(h.is_quarantined());
+    }
+
+    #[test]
+    fn implausible_values_use_locf_and_eventually_quarantine() {
+        let policy = HealthPolicy::default();
+        let mut h = SensorHealth::default();
+        h.ingest(Some(25.0), BOUNDS, &policy);
+        for _ in 0..policy.max_implausible {
+            let used = h.ingest(Some(1e7), BOUNDS, &policy);
+            assert_eq!(used, Some(25.0), "implausible values never flow through");
+        }
+        assert!(h.is_quarantined());
+    }
+
+    #[test]
+    fn missing_from_birth_imputes_nothing() {
+        let policy = HealthPolicy::default();
+        let mut h = SensorHealth::default();
+        assert_eq!(h.ingest(None, BOUNDS, &policy), None);
+    }
+
+    #[test]
+    fn suspect_recovers_to_healthy() {
+        let policy = HealthPolicy::default();
+        let mut h = SensorHealth::default();
+        h.ingest(Some(10.0), BOUNDS, &policy);
+        h.ingest(None, BOUNDS, &policy);
+        assert_eq!(h.status, SensorStatus::Suspect);
+        h.ingest(Some(10.5), BOUNDS, &policy);
+        // Implausible count is cumulative, staleness/repeats reset.
+        assert_eq!(h.status, SensorStatus::Healthy);
+    }
+}

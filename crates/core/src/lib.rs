@@ -40,6 +40,7 @@
 pub mod baseline;
 mod error;
 pub mod experiment;
+pub mod health;
 pub mod impact;
 pub mod isolation;
 pub mod monitor;
@@ -47,5 +48,6 @@ mod pipeline;
 pub mod scenario;
 
 pub use error::AquaError;
+pub use health::{HealthPolicy, SensorHealth, SensorStatus};
 pub use monitor::{Detection, MonitoringSession};
 pub use pipeline::{AquaScale, AquaScaleConfig, ExternalObservations, Inference, ProfileModel};

@@ -7,16 +7,25 @@
 //! AquaSCALE: the profile is trained once (Phase I), then live telemetry
 //! streams through `observe()` and detections come out with their
 //! detection delay — the quantity behind the "minutes, not hours" claim.
+//!
+//! The session is fault-tolerant: every channel passes through an optional
+//! [`FaultInjector`] (for degraded-data drills) and a per-sensor health
+//! tracker ([`SensorHealth`]). Missing readings are imputed by carrying the
+//! last observation forward, implausible and stuck channels are quarantined
+//! per the [`HealthPolicy`], and inference keeps running on whatever
+//! channels survive — a dead sensor degrades accuracy, it does not stop
+//! detection.
 
 use std::time::Duration;
 
 use aqua_hydraulics::{solve_snapshot, Scenario, Snapshot, SolverOptions};
 use aqua_net::{Network, NodeId};
-use aqua_sensing::extract_features;
+use aqua_sensing::{FaultInjector, FaultModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::error::AquaError;
+use crate::health::{HealthPolicy, SensorHealth};
 use crate::pipeline::{AquaScale, ExternalObservations, ProfileModel};
 
 /// One detection emitted by the monitoring loop.
@@ -28,56 +37,162 @@ pub struct Detection {
     pub leak_nodes: Vec<NodeId>,
     /// Phase-II latency of this slot's inference.
     pub latency: Duration,
+    /// Sensor channels quarantined when this detection fired (feature
+    /// order: pressure channels first, then flow channels).
+    pub quarantined: Vec<usize>,
 }
 
 /// A streaming Phase-II session over live readings.
 pub struct MonitoringSession<'a> {
     aqua: &'a AquaScale<'a>,
     profile: &'a ProfileModel,
-    previous: Option<Snapshot>,
+    /// Per-channel values used last slot (post-imputation), if any slot has
+    /// been observed yet.
+    prev_used: Option<Vec<Option<f64>>>,
     rng: StdRng,
+    injector: FaultInjector,
+    policy: HealthPolicy,
+    health: Vec<SensorHealth>,
+    slot: u64,
     /// Detections fired so far (non-empty predicted sets).
     pub detections: Vec<Detection>,
 }
 
 impl<'a> MonitoringSession<'a> {
-    /// Starts a session against a trained profile.
+    /// Starts a session against a trained profile (no injected faults).
     pub fn new(aqua: &'a AquaScale<'a>, profile: &'a ProfileModel, seed: u64) -> Self {
+        Self::with_faults(aqua, profile, seed, FaultModel::none())
+    }
+
+    /// Starts a session whose readings pass through a [`FaultModel`] — the
+    /// degraded-data drill mode used by the robustness bench and tests.
+    pub fn with_faults(
+        aqua: &'a AquaScale<'a>,
+        profile: &'a ProfileModel,
+        seed: u64,
+        faults: FaultModel,
+    ) -> Self {
+        let channels = profile.sensors.len();
         MonitoringSession {
             aqua,
             profile,
-            previous: None,
+            prev_used: None,
             rng: StdRng::seed_from_u64(seed),
+            injector: FaultInjector::new(faults),
+            policy: HealthPolicy::default(),
+            health: (0..channels).map(|_| SensorHealth::default()).collect(),
+            slot: 0,
             detections: Vec::new(),
         }
+    }
+
+    /// Replaces the health policy (builder style).
+    pub fn with_policy(mut self, policy: HealthPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Takes one sensor channel fully offline from the next slot on. The
+    /// health tracker will observe the silence and quarantine the channel;
+    /// inference keeps running on the remaining sensors.
+    pub fn kill_sensor(&mut self, channel: usize) {
+        self.injector.kill_channel(channel);
+    }
+
+    /// Per-channel health state, in feature order (pressure channels first,
+    /// then flow channels).
+    pub fn health(&self) -> &[SensorHealth] {
+        &self.health
+    }
+
+    /// Indices of currently quarantined channels.
+    pub fn quarantined_channels(&self) -> Vec<usize> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.is_quarantined())
+            .map(|(ch, _)| ch)
+            .collect()
     }
 
     /// Feeds the next slot's hydraulic state. Returns the inference if a
     /// previous reading existed (the features are consecutive-reading
     /// deltas), or `None` on the first slot.
+    ///
+    /// Each channel is read once per slot (truth → measurement noise →
+    /// fault injection → health checks). A channel whose reading is missing
+    /// or implausible is imputed by last observation carried forward;
+    /// quarantined channels contribute a zero delta.
     pub fn observe(
         &mut self,
         snapshot: Snapshot,
         external: &ExternalObservations,
     ) -> Result<Option<crate::pipeline::Inference>, AquaError> {
-        let Some(prev) = self.previous.replace(snapshot) else {
+        let config = self.aqua.config().features;
+        let n_pressure = self.profile.sensors.pressure_nodes.len();
+        let slot = self.slot;
+        self.slot += 1;
+
+        // Noise is drawn for every channel on every slot — even quarantined
+        // ones — so the RNG stream (and with it the whole session) never
+        // depends on the health trajectory.
+        // Stuck detection keys on bit-identical repeats, which only honest
+        // *noisy* telemetry never produces — disable it per channel kind
+        // when the configured noise is zero.
+        let policy_for = |sigma: f64| -> HealthPolicy {
+            let mut p = self.policy;
+            if sigma == 0.0 {
+                p.max_repeats = 0;
+            }
+            p
+        };
+        let p_policy = policy_for(config.noise.pressure_sigma);
+        let f_policy = policy_for(config.noise.flow_sigma);
+
+        let mut used: Vec<Option<f64>> = Vec::with_capacity(self.profile.sensors.len());
+        for (ch, &node) in self.profile.sensors.pressure_nodes.iter().enumerate() {
+            let noisy = config
+                .noise
+                .pressure(snapshot.pressure(node), &mut self.rng);
+            let delivered = self.injector.read(ch, slot, noisy).value;
+            used.push(self.health[ch].ingest(delivered, p_policy.pressure_bounds, &p_policy));
+        }
+        for (k, &link) in self.profile.sensors.flow_links.iter().enumerate() {
+            let ch = n_pressure + k;
+            let noisy = config.noise.flow(snapshot.flow(link), &mut self.rng);
+            let delivered = self.injector.read(ch, slot, noisy).value;
+            used.push(self.health[ch].ingest(delivered, f_policy.flow_bounds, &f_policy));
+        }
+
+        let features = self.prev_used.as_ref().map(|prev| {
+            let mut features = Vec::with_capacity(used.len());
+            for (ch, (p, c)) in prev.iter().zip(&used).enumerate() {
+                let delta = match (p, c) {
+                    (Some(p), Some(c)) if !self.health[ch].is_quarantined() => c - p,
+                    // Missing history or a quarantined channel: impute "no
+                    // observed change" rather than feeding garbage in.
+                    _ => 0.0,
+                };
+                features.push(delta);
+            }
+            if config.include_topology {
+                features.extend(self.aqua.network().topology_features());
+            }
+            features
+        });
+        let time = snapshot.time;
+        self.prev_used = Some(used);
+        let Some(features) = features else {
             return Ok(None);
         };
-        let current = self.previous.as_ref().expect("just replaced");
-        let features = extract_features(
-            self.aqua.network(),
-            &self.profile.sensors,
-            &prev,
-            current,
-            &self.aqua.config().features,
-            &mut self.rng,
-        );
+
         let inference = self.aqua.infer(self.profile, &features, external)?;
         if !inference.leak_nodes.is_empty() {
             self.detections.push(Detection {
-                time: current.time,
+                time,
                 leak_nodes: inference.leak_nodes.clone(),
                 latency: inference.latency,
+                quarantined: self.quarantined_channels(),
             });
         }
         Ok(Some(inference))
@@ -131,6 +246,7 @@ mod tests {
             features: FeatureConfig {
                 noise: MeasurementNoise::none(),
                 include_topology: false,
+                ..Default::default()
             },
             threads: 4,
             ..Default::default()
@@ -157,6 +273,8 @@ mod tests {
             "detection at slot {hit}, leak started at slot 8"
         );
         assert!(!session.detections.is_empty());
+        // No faults injected: nothing should be quarantined.
+        assert!(session.quarantined_channels().is_empty());
         // Detection delay in wall-clock terms: within minutes of onset.
         let delay_minutes = (hit - 8) * 15;
         assert!(delay_minutes <= 30, "delay {delay_minutes} minutes");
@@ -192,5 +310,92 @@ mod tests {
             .observe(snap, &ExternalObservations::none())
             .unwrap();
         assert!(out.is_none());
+    }
+
+    #[test]
+    fn dead_sensor_is_quarantined_and_detections_still_fire() {
+        let (net, config) = trained();
+        let aqua = AquaScale::new(&net, config);
+        let profile = aqua.train_profile().unwrap();
+        let mut session = MonitoringSession::new(&aqua, &profile, 5);
+        // Take one pressure channel fully offline before the stream starts.
+        session.kill_sensor(0);
+
+        let leak_node = net.junction_ids()[33];
+        let scenario = Scenario::new().with_leak(LeakEvent::new(leak_node, 0.015, 8 * 900));
+        let hit = session
+            .run_scenario(&scenario, 16, 900, &SolverOptions::default())
+            .unwrap();
+
+        // The dead channel went silent, so the staleness check must have
+        // quarantined it...
+        assert_eq!(session.quarantined_channels(), vec![0]);
+        assert!(session.health()[0].is_quarantined());
+        // ...while detection still works off the surviving channels.
+        let hit = hit.expect("one dead sensor must not blind the session");
+        assert!(
+            (8..=11).contains(&hit),
+            "detection at slot {hit}, leak started at slot 8"
+        );
+        // Detections carry the quarantine state for operator visibility.
+        let last = session.detections.last().expect("detections fired");
+        assert_eq!(last.quarantined, vec![0]);
+    }
+
+    #[test]
+    fn stuck_sensor_is_quarantined_via_fault_injection() {
+        // Stuck detection requires noisy telemetry (bit-identical repeats
+        // are the anomaly signature), so this config keeps default noise; a
+        // tiny corpus suffices since only quarantine behavior is asserted.
+        let net = synth::epa_net();
+        let config = AquaScaleConfig {
+            model: ModelKind::logistic_r(),
+            train_samples: 40,
+            max_events: 2,
+            features: FeatureConfig {
+                include_topology: false,
+                ..Default::default()
+            },
+            threads: 4,
+            ..Default::default()
+        };
+        let aqua = AquaScale::new(&net, config);
+        let profile = aqua.train_profile().unwrap();
+        // Freeze every channel: stuck detection must fire once the repeat
+        // streak crosses the policy threshold.
+        let faults = FaultModel {
+            stuck_rate: 1.0,
+            seed: 3,
+            ..FaultModel::none()
+        };
+        let mut session = MonitoringSession::with_faults(&aqua, &profile, 5, faults);
+        session
+            .run_scenario(&Scenario::default(), 10, 900, &SolverOptions::default())
+            .unwrap();
+        assert!(
+            !session.quarantined_channels().is_empty(),
+            "frozen channels must be caught by the repeat check"
+        );
+    }
+
+    #[test]
+    fn dropout_degrades_gracefully_without_errors() {
+        let (net, config) = trained();
+        let aqua = AquaScale::new(&net, config);
+        let profile = aqua.train_profile().unwrap();
+        let faults = FaultModel {
+            dropout_rate: 0.2,
+            seed: 11,
+            ..FaultModel::none()
+        };
+        let mut session = MonitoringSession::with_faults(&aqua, &profile, 5, faults);
+        let leak_node = net.junction_ids()[33];
+        let scenario = Scenario::new().with_leak(LeakEvent::new(leak_node, 0.015, 8 * 900));
+        // Must complete without error; detection is best-effort under 20%
+        // dropout but the pipeline itself must never fall over.
+        let hit = session
+            .run_scenario(&scenario, 16, 900, &SolverOptions::default())
+            .unwrap();
+        assert!(hit.is_none() || hit.unwrap() >= 8);
     }
 }

@@ -39,6 +39,7 @@ mod error;
 mod headloss;
 pub mod linalg;
 pub mod quality;
+mod recovery;
 mod scenario;
 mod snapshot;
 mod solver;
@@ -49,6 +50,10 @@ pub use eps::{EpsResult, ExtendedPeriodSim};
 pub use error::HydraulicError;
 pub use headloss::HeadlossModel;
 pub use quality::{QualitySources, WaterQuality};
+pub use recovery::{
+    solve_snapshot_recovering, RecoveryAction, SolveReport, ESCALATION_BUDGET_FACTOR,
+    ESCALATION_DAMPING_FACTOR,
+};
 pub use scenario::{LeakEvent, Scenario};
 pub use snapshot::Snapshot;
 pub use solver::{solve_snapshot, solve_snapshot_with, LinearBackend, SolverOptions};

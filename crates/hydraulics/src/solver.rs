@@ -44,6 +44,13 @@ pub struct SolverOptions {
     pub tolerance: f64,
     /// Maximum GGA iterations.
     pub max_iterations: usize,
+    /// Flow-update under-relaxation factor in `(0, 1]`. At the default 1.0
+    /// every iteration takes the full Newton step (the classic GGA). Values
+    /// below 1.0 blend the new flow with the previous iterate, which damps
+    /// the limit cycles large emitters and flapping check valves can induce
+    /// — the [recovery ladder](crate::solve_snapshot_recovering) lowers this
+    /// automatically when a solve oscillates.
+    pub damping: f64,
 }
 
 impl Default for SolverOptions {
@@ -53,6 +60,7 @@ impl Default for SolverOptions {
             backend: LinearBackend::default(),
             tolerance: 1e-6,
             max_iterations: 200,
+            damping: 1.0,
         }
     }
 }
@@ -177,6 +185,16 @@ pub fn solve_snapshot_with(
     // by status logic this solve.
     ws.temp_closed.fill(false);
 
+    // Under-relaxation scratch: previous junction heads, so the damped path
+    // can blend the linear-solve output (emitter on/off switching at p = 0
+    // oscillates in *head* space, which damping the flows alone never
+    // reaches). Empty on the default full-step path.
+    let mut prev_heads: Vec<f64> = if opts.damping < 1.0 {
+        vec![0.0; n_nodes]
+    } else {
+        Vec::new()
+    };
+
     let mut iterations = 0;
     loop {
         iterations += 1;
@@ -281,7 +299,18 @@ pub fn solve_snapshot_with(
         // Matrix assembly + linear solve happen inside the workspace,
         // writing conductances through the cached CSR slot map.
         let use_dense = effective_backend(opts.backend, n_junc) == LinearBackend::Dense;
+        if opts.damping < 1.0 {
+            prev_heads.copy_from_slice(&ws.heads);
+        }
         ws.solve_linear_into_heads(use_dense)?;
+        if opts.damping < 1.0 {
+            // Blend junction heads toward the solve output; fixed heads are
+            // untouched (the solve never rewrites them).
+            for &j in &ws.junctions {
+                let i = j.index();
+                ws.heads[i] = prev_heads[i] + opts.damping * (ws.heads[i] - prev_heads[i]);
+            }
+        }
 
         // Flow update and convergence measure.
         let mut flow_change = 0.0;
@@ -290,7 +319,14 @@ pub fn solve_snapshot_with(
         for (lid, link) in net.iter_links() {
             let li = lid.index();
             let dh = ws.heads[link.from.index()] - ws.heads[link.to.index()];
-            let mut q_new = ws.s_link[li] + ws.p_link[li] * dh;
+            let q_full = ws.s_link[li] + ws.p_link[li] * dh;
+            // Under-relax the flow update when damping < 1 (bit-identical to
+            // the classic full step at the default damping = 1.0).
+            let mut q_new = if opts.damping < 1.0 {
+                ws.flows[li] + opts.damping * (q_full - ws.flows[li])
+            } else {
+                q_full
+            };
 
             // Status logic: check valves and pumps admit no reverse flow.
             let no_reverse = match &link.kind {
@@ -362,7 +398,7 @@ pub fn solve_snapshot_with(
     })
 }
 
-fn effective_backend(requested: LinearBackend, n_junc: usize) -> LinearBackend {
+pub(crate) fn effective_backend(requested: LinearBackend, n_junc: usize) -> LinearBackend {
     match requested {
         LinearBackend::Auto => {
             if n_junc <= 150 {

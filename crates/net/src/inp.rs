@@ -55,6 +55,15 @@ pub enum InpError {
         /// The declared units token.
         units: String,
     },
+    /// The file declares a section header this importer neither parses nor
+    /// knows to be safely ignorable. Silently skipping it would drop model
+    /// content on the floor, so it is an error instead.
+    UnknownSection {
+        /// 1-based line number.
+        line: usize,
+        /// The section header as written.
+        name: String,
+    },
 }
 
 impl fmt::Display for InpError {
@@ -75,6 +84,9 @@ impl fmt::Display for InpError {
                     f,
                     "unsupported flow units `{units}` (only LPS is supported)"
                 )
+            }
+            InpError::UnknownSection { line, name } => {
+                write!(f, "line {line}: unknown section `{name}`")
             }
         }
     }
@@ -167,7 +179,37 @@ pub fn parse_inp(text: &str) -> Result<Network, InpError> {
                 "[PATTERNS]" => Section::Patterns,
                 "[COORDINATES]" => Section::Coordinates,
                 "[OPTIONS]" => Section::Options,
-                _ => Section::Other,
+                other => {
+                    // EPANET sections the importer deliberately skips:
+                    // hydraulically irrelevant here (quality, reporting,
+                    // rendering) or covered elsewhere in the model.
+                    const IGNORABLE: &[&str] = &[
+                        "[BACKDROP]",
+                        "[CONTROLS]",
+                        "[DEMANDS]",
+                        "[EMITTERS]",
+                        "[END]",
+                        "[ENERGY]",
+                        "[LABELS]",
+                        "[MIXING]",
+                        "[QUALITY]",
+                        "[REACTIONS]",
+                        "[REPORT]",
+                        "[RULES]",
+                        "[SOURCES]",
+                        "[STATUS]",
+                        "[TAGS]",
+                        "[TIMES]",
+                        "[VERTICES]",
+                    ];
+                    if !IGNORABLE.contains(&other) {
+                        return Err(InpError::UnknownSection {
+                            line: line_no,
+                            name: line.to_string(),
+                        });
+                    }
+                    Section::Other
+                }
             };
             continue;
         }
@@ -317,7 +359,15 @@ pub fn parse_inp(text: &str) -> Result<Network, InpError> {
                 };
                 net.add_tank(name.clone(), elevation, tank, xy)?
             }
-            _ => unreachable!("node sections only"),
+            // `net_nodes` is only ever populated from the three node
+            // sections above, but return an error rather than panic if that
+            // invariant is ever broken.
+            _ => {
+                return Err(InpError::MalformedLine {
+                    line: *line_no,
+                    context: "node section",
+                })
+            }
         };
         node_ids.insert(name.clone(), id);
     }
@@ -384,7 +434,13 @@ pub fn parse_inp(text: &str) -> Result<Network, InpError> {
     }
 
     for (junction, pattern) in &junction_patterns {
-        let node = node_ids[junction];
+        let node = node_ids
+            .get(junction)
+            .copied()
+            .ok_or_else(|| InpError::UnknownReference {
+                line: 0,
+                name: junction.clone(),
+            })?;
         let pat = pattern_ids
             .get(pattern)
             .copied()
@@ -703,6 +759,68 @@ two-loop demo
             parse_inp(bad),
             Err(InpError::UnsupportedUnits { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_duplicate_node_names() {
+        let bad = "[JUNCTIONS]\n J1 10 0\n J1 12 0\n";
+        assert!(matches!(
+            parse_inp(bad),
+            Err(InpError::Net(NetError::DuplicateName { .. }))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_section() {
+        let bad = "[JUNCTIONS]\n J1 10 0\n[BOGUS]\n whatever 1 2\n";
+        match parse_inp(bad) {
+            Err(InpError::UnknownSection { line, name }) => {
+                assert_eq!(line, 3);
+                assert_eq!(name, "[BOGUS]");
+            }
+            other => panic!("expected UnknownSection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ignorable_sections_are_skipped_without_error() {
+        let text = "\
+[JUNCTIONS]\n J1 10 0\n\
+[RESERVOIRS]\n R1 50\n\
+[PIPES]\n P1 R1 J1 100 200 130\n\
+[TIMES]\n DURATION 24\n\
+[REPORT]\n STATUS YES\n\
+[END]\n";
+        let net = parse_inp(text).unwrap();
+        assert_eq!(net.node_count(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage_tokens_without_panicking() {
+        for garbage in [
+            "[PIPES]\n P1\n",
+            "[JUNCTIONS]\n J1 []] {{ 0\n",
+            "[TANKS]\n T1 80 3\n",
+            "[VALVES]\n V1 J1 J2 200 NOTAVALVE 5\n",
+            "[CURVES]\n C1 100\n",
+        ] {
+            assert!(parse_inp(garbage).is_err(), "accepted: {garbage:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_files_error_or_parse_but_never_panic() {
+        // Cutting the file at any char boundary must yield Ok or a clean
+        // Err — never a panic. (Prefix truncations at line boundaries can
+        // legitimately still parse.)
+        let boundaries: Vec<usize> = SMALL_INP
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain([SMALL_INP.len()])
+            .collect();
+        for &cut in &boundaries {
+            let _ = parse_inp(&SMALL_INP[..cut]);
+        }
     }
 
     #[test]

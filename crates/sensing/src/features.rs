@@ -10,6 +10,7 @@ use aqua_hydraulics::Snapshot;
 use aqua_net::Network;
 use rand::rngs::StdRng;
 
+use crate::fault::{FaultInjector, FaultModel};
 use crate::noise::MeasurementNoise;
 use crate::sensor::SensorSet;
 
@@ -21,6 +22,8 @@ pub struct FeatureConfig {
     pub noise: MeasurementNoise,
     /// Append the static topology summary `T` (paper default: yes).
     pub include_topology: bool,
+    /// Sensor fault injection applied after noise (default: no faults).
+    pub faults: FaultModel,
 }
 
 impl Default for FeatureConfig {
@@ -28,6 +31,7 @@ impl Default for FeatureConfig {
         FeatureConfig {
             noise: MeasurementNoise::default(),
             include_topology: true,
+            faults: FaultModel::none(),
         }
     }
 }
@@ -67,6 +71,64 @@ pub fn extract_features(
         features.extend(net.topology_features());
     }
     features
+}
+
+/// [`extract_features`] under sensor faults: each noisy reading passes
+/// through `injector` before the difference is taken, and a channel whose
+/// before- or after-reading is missing has its delta imputed as `0.0`
+/// (carrying the last observation forward in delta space — "no observed
+/// change"). Returns the feature row plus the number of imputed channels.
+///
+/// Channels are indexed `0..sensors.len()` in feature order (pressure
+/// nodes first, then flow links); `slots` are the sampling-slot indices of
+/// the before/after readings (used for dropout/spike placement and drift
+/// growth). The RNG consumption is identical to [`extract_features`] —
+/// fault placement is hash-based, never drawn from `rng` — so enabling
+/// faults cannot perturb the noise stream.
+// Mirrors `extract_features`' signature plus the fault context; bundling
+// the extra two into a struct would obscure the parallel.
+#[allow(clippy::too_many_arguments)]
+pub fn extract_features_degraded(
+    net: &Network,
+    sensors: &SensorSet,
+    before: &Snapshot,
+    after: &Snapshot,
+    config: &FeatureConfig,
+    rng: &mut StdRng,
+    injector: &mut FaultInjector,
+    slots: (u64, u64),
+) -> (Vec<f64>, usize) {
+    let mut features = Vec::with_capacity(feature_dimension(net, sensors, config));
+    let mut imputed = 0;
+    let mut channel = 0usize;
+    let mut push_delta = |noisy_before: f64, noisy_after: f64| {
+        let b = injector.read(channel, slots.0, noisy_before);
+        let a = injector.read(channel, slots.1, noisy_after);
+        channel += 1;
+        match (b.value, a.value) {
+            (Some(b), Some(a)) => a - b,
+            _ => {
+                imputed += 1;
+                0.0
+            }
+        }
+    };
+    for &node in &sensors.pressure_nodes {
+        let b = config.noise.pressure(before.pressure(node), rng);
+        let a = config.noise.pressure(after.pressure(node), rng);
+        let delta = push_delta(b, a);
+        features.push(delta);
+    }
+    for &link in &sensors.flow_links {
+        let b = config.noise.flow(before.flow(link), rng);
+        let a = config.noise.flow(after.flow(link), rng);
+        let delta = push_delta(b, a);
+        features.push(delta);
+    }
+    if config.include_topology {
+        features.extend(net.topology_features());
+    }
+    (features, imputed)
 }
 
 #[cfg(test)]
@@ -122,6 +184,7 @@ mod tests {
         let cfg = FeatureConfig {
             noise: MeasurementNoise::none(),
             include_topology: false,
+            ..Default::default()
         };
         let mut rng = StdRng::seed_from_u64(0);
         let f = extract_features(&net, &sensors, &base, &after, &cfg, &mut rng);
@@ -138,10 +201,12 @@ mod tests {
                 flow_sigma: 0.005,
             },
             include_topology: false,
+            ..Default::default()
         };
         let clean = FeatureConfig {
             noise: MeasurementNoise::none(),
             include_topology: false,
+            ..Default::default()
         };
         let mut rng = StdRng::seed_from_u64(1);
         let a = extract_features(&net, &sensors, &base, &after, &noisy, &mut rng);
@@ -154,5 +219,81 @@ mod tests {
             .map(|(x, y)| (x - y).abs())
             .fold(0.0, f64::max);
         assert!(max_dev > 0.01 && max_dev < 5.0, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn degraded_extraction_imputes_missing_channels() {
+        let (net, base, after) = snapshots();
+        let sensors = SensorSet::full(&net);
+        let cfg = FeatureConfig {
+            include_topology: false,
+            faults: FaultModel {
+                dropout_rate: 0.3,
+                seed: 5,
+                ..FaultModel::none()
+            },
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut injector = FaultInjector::new(cfg.faults);
+        let (f, imputed) = extract_features_degraded(
+            &net,
+            &sensors,
+            &base,
+            &after,
+            &cfg,
+            &mut rng,
+            &mut injector,
+            (7, 9),
+        );
+        assert_eq!(f.len(), sensors.len());
+        assert!(imputed > 0, "30% dropout must hit some channel");
+        assert!(imputed < sensors.len(), "not every channel drops");
+        assert!(f.iter().all(|v| v.is_finite()));
+        // Imputed channels read exactly 0.0 (no observed change).
+        assert!(f.iter().filter(|v| **v == 0.0).count() >= imputed);
+    }
+
+    #[test]
+    fn fault_injection_does_not_perturb_the_noise_stream() {
+        // Fault placement is hash-based: channels untouched by faults must
+        // carry the exact same noisy delta as a fault-free extraction from
+        // the same RNG seed.
+        let (net, base, after) = snapshots();
+        let sensors = SensorSet::full(&net);
+        let clean_cfg = FeatureConfig {
+            include_topology: false,
+            ..Default::default()
+        };
+        let faulty_cfg = FeatureConfig {
+            faults: FaultModel {
+                dropout_rate: 0.2,
+                seed: 9,
+                ..FaultModel::none()
+            },
+            ..clean_cfg
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let clean = extract_features(&net, &sensors, &base, &after, &clean_cfg, &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut injector = FaultInjector::new(faulty_cfg.faults);
+        let (faulty, imputed) = extract_features_degraded(
+            &net,
+            &sensors,
+            &base,
+            &after,
+            &faulty_cfg,
+            &mut rng,
+            &mut injector,
+            (7, 9),
+        );
+        assert!(imputed > 0);
+        let matching = clean.iter().zip(&faulty).filter(|(c, f)| c == f).count();
+        assert!(
+            matching >= sensors.len() - 2 * imputed,
+            "non-faulted channels must match the clean extraction \
+             ({matching} of {} matched, {imputed} imputed)",
+            sensors.len()
+        );
     }
 }

@@ -10,15 +10,16 @@
 use std::fmt;
 
 use aqua_hydraulics::{
-    solve_snapshot, solve_snapshot_with, ExtendedPeriodSim, HydraulicError, LeakEvent, Scenario,
-    Snapshot, SolverOptions, SolverWorkspace, WarmStart,
+    solve_snapshot, solve_snapshot_recovering, solve_snapshot_with, ExtendedPeriodSim,
+    HydraulicError, LeakEvent, Scenario, Snapshot, SolverOptions, SolverWorkspace, WarmStart,
 };
 use aqua_ml::Matrix;
 use aqua_net::{Network, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::features::{extract_features, FeatureConfig};
+use crate::fault::{mix2, FaultInjector};
+use crate::features::{extract_features, extract_features_degraded, FeatureConfig};
 use crate::sensor::SensorSet;
 
 /// Errors from dataset generation.
@@ -29,6 +30,15 @@ pub enum SensingError {
     Hydraulic(HydraulicError),
     /// The network has no junctions to leak at.
     NoJunctions,
+    /// A corpus slot could not be filled within the resample budget.
+    ResampleExhausted {
+        /// The corpus slot that failed.
+        sample: usize,
+        /// Scenario draws attempted (1 + resample limit).
+        attempts: usize,
+        /// The hydraulic failure of the final attempt.
+        last: HydraulicError,
+    },
 }
 
 impl fmt::Display for SensingError {
@@ -36,6 +46,15 @@ impl fmt::Display for SensingError {
         match self {
             SensingError::Hydraulic(e) => write!(f, "hydraulic failure: {e}"),
             SensingError::NoJunctions => write!(f, "network has no junctions"),
+            SensingError::ResampleExhausted {
+                sample,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "corpus slot {sample} still failing after {attempts} scenario draws \
+                 (last error: {last})"
+            ),
         }
     }
 }
@@ -44,7 +63,8 @@ impl std::error::Error for SensingError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SensingError::Hydraulic(e) => Some(e),
-            SensingError::NoJunctions => None,
+            SensingError::ResampleExhausted { last, .. } => Some(last),
+            _ => None,
         }
     }
 }
@@ -102,9 +122,50 @@ impl ScenarioSampler {
     }
 }
 
-/// One generated corpus row: the feature vector plus its ground-truth
-/// scenario (or the first hydraulic failure hit while producing it).
-type SampleRow = Result<(Vec<f64>, Scenario), SensingError>;
+/// Salt decorrelating replacement-draw seeds from the primary `seed + i`
+/// stream (a replacement must never replay another slot's scenario).
+const RESAMPLE_SALT: u64 = 0xace1_2b67_9d41_55c3;
+
+/// Per-sample generation bookkeeping, rolled up into [`BuildSummary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SampleStats {
+    /// Extra scenario draws needed beyond the first (0 = clean).
+    resamples: usize,
+    /// Solver recovery-ladder actions that fired for this sample.
+    recoveries: usize,
+    /// Sensor channels whose delta had to be imputed (missing readings).
+    imputed: usize,
+}
+
+/// One generated corpus row: the feature vector, its ground-truth scenario
+/// and the generation bookkeeping (or the terminal failure hit while
+/// producing it).
+type SampleRow = Result<(Vec<f64>, Scenario, SampleStats), SensingError>;
+
+/// What it took to build a corpus: how many slots needed scenario
+/// resampling, how often the solver recovery ladder fired, and how many
+/// sensor readings were imputed. All counts are per-sample deterministic,
+/// so the summary — like the corpus itself — is identical for any builder
+/// thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildSummary {
+    /// Corpus slots that needed at least one replacement scenario draw.
+    pub resampled_slots: usize,
+    /// Total replacement scenario draws across all slots.
+    pub resample_draws: usize,
+    /// Total solver recovery-ladder actions across all solves.
+    pub solver_recoveries: usize,
+    /// Total sensor-channel deltas imputed due to missing readings.
+    pub imputed_readings: usize,
+}
+
+impl BuildSummary {
+    /// `true` when the corpus was produced without any retry, recovery or
+    /// imputation.
+    pub fn is_pristine(&self) -> bool {
+        *self == BuildSummary::default()
+    }
+}
 
 /// A generated training/testing corpus.
 #[derive(Debug, Clone)]
@@ -118,6 +179,8 @@ pub struct LeakDataset {
     pub junctions: Vec<NodeId>,
     /// The sampled scenarios (ground truth for evaluation).
     pub scenarios: Vec<Scenario>,
+    /// Generation bookkeeping (resamples, recoveries, imputations).
+    pub summary: BuildSummary,
 }
 
 impl LeakDataset {
@@ -143,6 +206,12 @@ pub struct DatasetBuilder<'a> {
     /// Solve each scenario through a per-thread [`SolverWorkspace`] seeded
     /// from the leak-free baseline (see [`DatasetBuilder::warm_start`]).
     warm_start: bool,
+    /// Replacement scenario draws allowed per corpus slot (see
+    /// [`DatasetBuilder::resample_limit`]).
+    resample_limit: usize,
+    /// Route solves through the recovery ladder (see
+    /// [`DatasetBuilder::recovery`]).
+    recovery: bool,
 }
 
 impl<'a> DatasetBuilder<'a> {
@@ -158,7 +227,29 @@ impl<'a> DatasetBuilder<'a> {
             elapsed_slots: 1,
             step: 900,
             warm_start: true,
+            resample_limit: 8,
+            recovery: true,
         }
+    }
+
+    /// Sets how many replacement scenario draws a corpus slot may consume
+    /// when its scenario keeps defeating the hydraulic solver (default 8;
+    /// 0 restores the legacy fail-fast behavior). Replacement draws are a
+    /// deterministic function of `(corpus seed, slot, attempt)`, so
+    /// resampling never breaks byte-identity across thread counts.
+    pub fn resample_limit(mut self, limit: usize) -> Self {
+        self.resample_limit = limit;
+        self
+    }
+
+    /// Enables or disables the hydraulic solver recovery ladder (default
+    /// on). When on, a failed solve is retried per
+    /// [`solve_snapshot_recovering`] before the scenario is declared
+    /// pathological; the converged result is identical to a clean solve
+    /// whenever the first attempt succeeds.
+    pub fn recovery(mut self, recovery: bool) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Enables or disables warm-started solving (default on). When on, each
@@ -216,12 +307,15 @@ impl<'a> DatasetBuilder<'a> {
     /// (cached by the caller via `baseline`): leaks shorter than a few
     /// hours barely move community-scale tank trajectories, and this keeps
     /// per-sample cost at two snapshot solves instead of a full EPS.
+    /// Returns the two snapshots plus the number of solver recovery-ladder
+    /// actions that fired while producing them (always 0 with
+    /// [`recovery`](Self::recovery) off).
     fn snapshots_for(
         &self,
         scenario: &Scenario,
         baseline: &aqua_hydraulics::EpsResult,
         ws: Option<&mut SolverWorkspace>,
-    ) -> Result<(Snapshot, Snapshot), SensingError> {
+    ) -> Result<(Snapshot, Snapshot, usize), SensingError> {
         let t_before = self.sampler.leak_start - self.step;
         let t_after = self.sampler.leak_start + self.elapsed_slots * self.step;
         let mut with_tanks = scenario.clone();
@@ -236,6 +330,23 @@ impl<'a> DatasetBuilder<'a> {
                 .collect()
         };
         with_tanks.tank_levels = levels_at(t_before);
+        let mut recoveries = 0usize;
+        // Solve dispatcher: the recovery ladder wraps the exact same
+        // single-attempt solve, so results are bit-identical whenever the
+        // first attempt converges.
+        let mut solve = |with_tanks: &Scenario,
+                         t: u64,
+                         ws: &mut SolverWorkspace|
+         -> Result<Snapshot, HydraulicError> {
+            if self.recovery {
+                let (snap, report) =
+                    solve_snapshot_recovering(self.net, with_tanks, t, &self.solver, ws)?;
+                recoveries += report.recoveries.len();
+                Ok(snap)
+            } else {
+                solve_snapshot_with(self.net, with_tanks, t, &self.solver, ws)
+            }
+        };
         match ws {
             Some(ws) => {
                 // Re-seed from the baseline for *every* sample (not from
@@ -252,7 +363,7 @@ impl<'a> DatasetBuilder<'a> {
                 // the pre-event solution — reuse it instead of re-solving.
                 let before = match base {
                     Some(base) if scenario.is_baseline_at(t_before) => base.clone(),
-                    _ => solve_snapshot_with(self.net, &with_tanks, t_before, &self.solver, ws)?,
+                    _ => solve(&with_tanks, t_before, ws)?,
                 };
                 with_tanks.tank_levels = levels_at(t_after);
                 // Seed the "after" solve from the baseline at t_after when
@@ -263,14 +374,25 @@ impl<'a> DatasetBuilder<'a> {
                 if let Some(base_after) = baseline.at(t_after) {
                     ws.set_warm_start(WarmStart::from_snapshot(base_after));
                 }
-                let after = solve_snapshot_with(self.net, &with_tanks, t_after, &self.solver, ws)?;
-                Ok((before, after))
+                let after = solve(&with_tanks, t_after, ws)?;
+                Ok((before, after, recoveries))
             }
             None => {
-                let before = solve_snapshot(self.net, &with_tanks, t_before, &self.solver)?;
+                let before = if self.recovery {
+                    // A fresh workspace per solve keeps cold semantics: no
+                    // state flows from one solve into the next (this is
+                    // exactly what `solve_snapshot` does internally).
+                    solve(&with_tanks, t_before, &mut SolverWorkspace::new(self.net))?
+                } else {
+                    solve_snapshot(self.net, &with_tanks, t_before, &self.solver)?
+                };
                 with_tanks.tank_levels = levels_at(t_after);
-                let after = solve_snapshot(self.net, &with_tanks, t_after, &self.solver)?;
-                Ok((before, after))
+                let after = if self.recovery {
+                    solve(&with_tanks, t_after, &mut SolverWorkspace::new(self.net))?
+                } else {
+                    solve_snapshot(self.net, &with_tanks, t_after, &self.solver)?
+                };
+                Ok((before, after, recoveries))
             }
         }
     }
@@ -286,11 +408,19 @@ impl<'a> DatasetBuilder<'a> {
     }
 
     /// Generates `n_samples` scenario rows. Sample `i` is driven by seed
-    /// `seed + i`, so the corpus is identical for any `threads` value.
+    /// `seed + i` and replacement draws by a hash of `(seed, i, attempt)`,
+    /// so the corpus is identical for any `threads` value.
+    ///
+    /// A scenario whose hydraulics defeat even the solver recovery ladder
+    /// is logged and replaced by a fresh draw, up to
+    /// [`resample_limit`](Self::resample_limit) times per slot; what
+    /// happened is rolled up in [`LeakDataset::summary`].
     ///
     /// # Errors
     ///
-    /// Returns the first hydraulic failure encountered.
+    /// Returns [`SensingError::ResampleExhausted`] when a slot stays
+    /// unsolvable through every replacement draw (or the raw hydraulic
+    /// failure when `resample_limit` is 0).
     pub fn build(
         &self,
         n_samples: usize,
@@ -304,19 +434,73 @@ impl<'a> DatasetBuilder<'a> {
         let threads = threads.max(1).min(n_samples.max(1));
 
         let mut rows: Vec<Option<SampleRow>> = (0..n_samples).map(|_| None).collect();
-        let worker = |i: usize, ws: Option<&mut SolverWorkspace>| -> SampleRow {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
-            let scenario = self.sampler.sample(&mut rng);
-            let (before, after) = self.snapshots_for(&scenario, &baseline, ws)?;
-            let features = extract_features(
-                self.net,
-                &self.sensors,
-                &before,
-                &after,
-                &self.features,
-                &mut rng,
-            );
-            Ok((features, scenario))
+        let worker = |i: usize, mut ws: Option<&mut SolverWorkspace>| -> SampleRow {
+            let mut stats = SampleStats::default();
+            let mut attempt = 0usize;
+            loop {
+                // Attempt 0 keeps the legacy per-sample seed, so corpora
+                // that never needed a resample are byte-identical with
+                // builds predating the retry loop; replacement draws hash
+                // in the attempt index (thread-count invariant either way).
+                let sample_seed = if attempt == 0 {
+                    seed.wrapping_add(i as u64)
+                } else {
+                    mix2(mix2(seed ^ RESAMPLE_SALT, i as u64), attempt as u64)
+                };
+                let mut rng = StdRng::seed_from_u64(sample_seed);
+                let scenario = self.sampler.sample(&mut rng);
+                match self.snapshots_for(&scenario, &baseline, ws.as_deref_mut()) {
+                    Ok((before, after, recoveries)) => {
+                        stats.recoveries += recoveries;
+                        stats.resamples = attempt;
+                        let features = if self.features.faults.enabled() {
+                            let model =
+                                self.features.faults.for_sample(seed.wrapping_add(i as u64));
+                            let mut injector = FaultInjector::new(model);
+                            let slots = (
+                                (self.sampler.leak_start - self.step) / self.step,
+                                (self.sampler.leak_start + self.elapsed_slots * self.step)
+                                    / self.step,
+                            );
+                            let (features, imputed) = extract_features_degraded(
+                                self.net,
+                                &self.sensors,
+                                &before,
+                                &after,
+                                &self.features,
+                                &mut rng,
+                                &mut injector,
+                                slots,
+                            );
+                            stats.imputed = imputed;
+                            features
+                        } else {
+                            extract_features(
+                                self.net,
+                                &self.sensors,
+                                &before,
+                                &after,
+                                &self.features,
+                                &mut rng,
+                            )
+                        };
+                        return Ok((features, scenario, stats));
+                    }
+                    Err(err) if attempt >= self.resample_limit => {
+                        return Err(match err {
+                            SensingError::Hydraulic(last) if self.resample_limit > 0 => {
+                                SensingError::ResampleExhausted {
+                                    sample: i,
+                                    attempts: self.resample_limit + 1,
+                                    last,
+                                }
+                            }
+                            other => other,
+                        });
+                    }
+                    Err(_) => attempt += 1,
+                }
+            }
         };
 
         if threads == 1 {
@@ -326,7 +510,7 @@ impl<'a> DatasetBuilder<'a> {
             }
         } else {
             let chunk = n_samples.div_ceil(threads);
-            crossbeam::thread::scope(|s| {
+            let scope = crossbeam::thread::scope(|s| {
                 for (t, slots) in rows.chunks_mut(chunk).enumerate() {
                     let worker = &worker;
                     let (warm, net) = (self.warm_start, self.net);
@@ -339,19 +523,34 @@ impl<'a> DatasetBuilder<'a> {
                         }
                     });
                 }
-            })
-            .expect("dataset workers do not panic");
+            });
+            if let Err(payload) = scope {
+                // A worker panicked (a bug, not a data condition): re-raise
+                // the original panic instead of masking it.
+                std::panic::resume_unwind(payload);
+            }
         }
 
         let mut x: Option<Matrix> = None;
         let mut scenarios = Vec::with_capacity(n_samples);
+        let mut summary = BuildSummary::default();
         for slot in rows {
-            let (features, scenario) = slot.expect("all samples generated")?;
+            // Every slot is filled: the single-thread loop writes each one,
+            // and a panicking worker re-raises above before we get here.
+            let Some(row) = slot else { continue };
+            let (features, scenario, stats) = row?;
+            if stats.resamples > 0 {
+                summary.resampled_slots += 1;
+            }
+            summary.resample_draws += stats.resamples;
+            summary.solver_recoveries += stats.recoveries;
+            summary.imputed_readings += stats.imputed;
             x.get_or_insert_with(|| Matrix::with_cols(features.len()))
                 .push_row(&features);
             scenarios.push(scenario);
         }
-        let x = x.expect("n_samples >= 1");
+        // `n_samples == 0` yields an empty, zero-column dataset.
+        let x = x.unwrap_or_else(|| Matrix::with_cols(0));
 
         let junctions = self.sampler.junctions.clone();
         let t_active = self.sampler.leak_start;
@@ -370,6 +569,7 @@ impl<'a> DatasetBuilder<'a> {
             labels,
             junctions,
             scenarios,
+            summary,
         })
     }
 }
@@ -467,6 +667,7 @@ mod tests {
         let cfg = FeatureConfig {
             noise: crate::MeasurementNoise::none(),
             include_topology: false,
+            ..Default::default()
         };
         let builder = DatasetBuilder::new(&net, SensorSet::full(&net))
             .feature_config(cfg)
@@ -476,6 +677,99 @@ mod tests {
             let min = ds.x.row(i).iter().cloned().fold(f64::INFINITY, f64::min);
             assert!(min < -0.005, "sample {i} min delta {min}");
         }
+    }
+
+    #[test]
+    fn pathological_scenarios_are_resampled_not_fatal() {
+        // Large emitter coefficients defeat the plain (recovery-off) solver
+        // on a fraction of draws; with bounded resampling the build must
+        // complete anyway and record what it replaced.
+        let net = synth::epa_net();
+        let builder = DatasetBuilder::new(&net, SensorSet::full(&net))
+            .ec_range(0.02, 0.25)
+            .recovery(false);
+        let ds = builder
+            .build(40, 2, 1)
+            .expect("resampling absorbs failures");
+        assert_eq!(ds.x.rows(), 40);
+        assert!(
+            ds.summary.resampled_slots > 0,
+            "this seed/range is calibrated to hit at least one failure"
+        );
+        assert!(ds.summary.resample_draws >= ds.summary.resampled_slots);
+    }
+
+    #[test]
+    fn resampled_corpus_is_byte_identical_across_thread_counts() {
+        let net = synth::epa_net();
+        let builder = DatasetBuilder::new(&net, SensorSet::full(&net))
+            .ec_range(0.02, 0.25)
+            .recovery(false);
+        let reference = builder.build(24, 2, 1).unwrap();
+        assert!(reference.summary.resampled_slots > 0);
+        for threads in [2, 8] {
+            let ds = builder.build(24, 2, threads).unwrap();
+            assert_eq!(reference.x, ds.x, "features diverge at threads={threads}");
+            assert_eq!(
+                reference.summary, ds.summary,
+                "summary diverges at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_ladder_rescues_scenarios_without_resampling() {
+        // The same pathological range that forces resampling with the
+        // ladder off is absorbed by damped retries with it on.
+        let net = synth::epa_net();
+        let builder = DatasetBuilder::new(&net, SensorSet::full(&net)).ec_range(0.02, 0.25);
+        let ds = builder.build(40, 2, 2).unwrap();
+        assert_eq!(
+            ds.summary.resampled_slots, 0,
+            "ladder should absorb all failures"
+        );
+        assert!(ds.summary.solver_recoveries > 0);
+    }
+
+    #[test]
+    fn zero_resample_limit_fails_fast_with_raw_error() {
+        let net = synth::epa_net();
+        let builder = DatasetBuilder::new(&net, SensorSet::full(&net))
+            .ec_range(0.05, 0.6)
+            .recovery(false)
+            .resample_limit(0);
+        match builder.build(40, 2, 1) {
+            Err(SensingError::Hydraulic(_)) => {}
+            other => panic!("expected raw hydraulic failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_corpus_completes_and_reports_imputations() {
+        let net = synth::epa_net();
+        let cfg = FeatureConfig {
+            faults: crate::FaultModel {
+                dropout_rate: 0.2,
+                seed: 17,
+                ..crate::FaultModel::none()
+            },
+            ..Default::default()
+        };
+        let builder = DatasetBuilder::new(&net, SensorSet::full(&net)).feature_config(cfg);
+        let ds = builder.build(10, 4, 1).unwrap();
+        assert!(ds.summary.imputed_readings > 0);
+        for i in 0..ds.x.rows() {
+            assert!(ds.x.row(i).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn clean_build_summary_is_pristine() {
+        let net = synth::epa_net();
+        let ds = DatasetBuilder::new(&net, SensorSet::full(&net))
+            .build(8, 3, 1)
+            .unwrap();
+        assert!(ds.summary.is_pristine(), "summary {:?}", ds.summary);
     }
 
     #[test]

@@ -31,14 +31,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod features;
 mod generator;
 mod noise;
 mod placement;
 mod sensor;
 
-pub use features::{extract_features, feature_dimension, FeatureConfig};
-pub use generator::{DatasetBuilder, LeakDataset, ScenarioSampler, SensingError};
+pub use fault::{FaultInjector, FaultKind, FaultModel, Reading};
+pub use features::{extract_features, extract_features_degraded, feature_dimension, FeatureConfig};
+pub use generator::{BuildSummary, DatasetBuilder, LeakDataset, ScenarioSampler, SensingError};
 pub use noise::MeasurementNoise;
 pub use placement::{k_medoids_placement, PlacementConfig};
 pub use sensor::SensorSet;

@@ -140,9 +140,8 @@ fn pam(points: &[Vec<f64>], k: usize, max_iterations: usize) -> Vec<usize> {
                 .iter()
                 .enumerate()
                 .map(|(ci, &m)| (ci, dist2(&points[p], &points[m])))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-                .expect("k >= 1")
-                .0;
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map_or(0, |(ci, _)| ci);
             clusters[nearest].push(p);
         }
         // Update step: per-cluster 1-medoid problem.
@@ -160,9 +159,8 @@ fn pam(points: &[Vec<f64>], k: usize, max_iterations: usize) -> Vec<usize> {
                         .sum();
                     (cand, total)
                 })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-                .expect("non-empty cluster")
-                .0;
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map_or(medoids[ci], |(cand, _)| cand);
             if medoids[ci] != best {
                 medoids[ci] = best;
                 changed = true;
@@ -177,7 +175,11 @@ fn pam(points: &[Vec<f64>], k: usize, max_iterations: usize) -> Vec<usize> {
     let mut seen = vec![false; n];
     for m in &mut medoids {
         if seen[*m] {
-            *m = (0..n).find(|&c| !seen[c]).expect("k <= n");
+            // `k <= n` is validated by the caller, so a free slot always
+            // exists; keep the stale index rather than panic if not.
+            if let Some(free) = (0..n).find(|&c| !seen[c]) {
+                *m = free;
+            }
         }
         seen[*m] = true;
     }

@@ -1,0 +1,160 @@
+//! Property-based tests of the sensor fault layer: fault placement must be
+//! a pure function of (model seed, channel, slot) — deterministic per seed,
+//! independent of query order — and fault-injected corpora built by
+//! [`DatasetBuilder`] must be byte-identical regardless of worker thread
+//! count.
+
+use aqua_net::synth::GridNetworkBuilder;
+use aqua_net::Network;
+use aqua_sensing::{DatasetBuilder, FaultInjector, FaultModel, FeatureConfig, SensorSet};
+use proptest::prelude::*;
+
+fn arbitrary_model() -> impl Strategy<Value = FaultModel> {
+    (
+        0.0f64..0.5,
+        0.0f64..0.3,
+        0.0f64..0.3,
+        0.0f64..0.3,
+        0u64..u64::MAX,
+    )
+        .prop_map(|(dropout, stuck, drift, spike, seed)| {
+            FaultModel {
+                dropout_rate: dropout,
+                stuck_rate: stuck,
+                drift_rate: drift,
+                spike_rate: spike,
+                ..FaultModel::none()
+            }
+            .with_seed(seed)
+        })
+}
+
+/// A small solvable grid: reservoir feeding the corner junction.
+fn small_grid(seed: u64) -> Network {
+    let grid = GridNetworkBuilder::new("fault-prop")
+        .columns(3)
+        .rows(3)
+        .loop_edges(2)
+        .seed(seed)
+        .build();
+    let mut net = grid.network;
+    let inlet = grid.junctions[0];
+    let head = net
+        .nodes()
+        .iter()
+        .map(|n| n.elevation)
+        .fold(f64::NEG_INFINITY, f64::max)
+        + 60.0;
+    let r = net.add_reservoir("SRC", head, (-500.0, 0.0)).unwrap();
+    net.add_pipe("MAIN", r, inlet, 300.0, 0.5, 130.0).unwrap();
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two injectors built from the same model deliver bit-identical
+    /// readings for any interleaving-free channel/slot walk.
+    #[test]
+    fn injection_is_deterministic_per_seed(
+        model in arbitrary_model(),
+        truths in prop::collection::vec(-50.0f64..200.0, 1..40),
+    ) {
+        let mut a = FaultInjector::new(model);
+        let mut b = FaultInjector::new(model);
+        for (i, &truth) in truths.iter().enumerate() {
+            let channel = i % 7;
+            let slot = (i / 7) as u64;
+            prop_assert_eq!(
+                a.read(channel, slot, truth),
+                b.read(channel, slot, truth)
+            );
+        }
+    }
+
+    /// Stateless fault placement is a pure hash of (channel, slot): querying
+    /// channels in reverse order answers exactly as querying in forward
+    /// order, which is what makes thread-chunked corpus builds exact.
+    #[test]
+    fn placement_is_order_independent(
+        model in arbitrary_model(),
+        channels in 1usize..24,
+        slots in 1u64..12,
+    ) {
+        let forward: Vec<_> = (0..channels)
+            .flat_map(|c| {
+                (0..slots).map(move |s| (
+                    model.is_dropout(c, s),
+                    model.is_stuck_channel(c),
+                    model.is_drift_channel(c),
+                    model.drift_direction(c),
+                    model.is_spike(c, s),
+                    model.spike_sign(c, s),
+                ))
+            })
+            .collect();
+        let backward: Vec<_> = (0..channels)
+            .rev()
+            .flat_map(|c| {
+                (0..slots).rev().map(move |s| (
+                    model.is_dropout(c, s),
+                    model.is_stuck_channel(c),
+                    model.is_drift_channel(c),
+                    model.drift_direction(c),
+                    model.is_spike(c, s),
+                    model.spike_sign(c, s),
+                ))
+            })
+            .collect();
+        let backward_forwardized: Vec<_> = backward.into_iter().rev().collect();
+        prop_assert_eq!(forward, backward_forwardized);
+    }
+
+    /// Per-sample derived models are deterministic and decorrelated: the
+    /// same (seed, index) always yields the same model, and distinct
+    /// indices yield distinct fault placements (statistically).
+    #[test]
+    fn per_sample_models_are_reproducible(
+        base in arbitrary_model(),
+        index in 0u64..u64::MAX,
+    ) {
+        let a = base.for_sample(index);
+        let b = base.for_sample(index);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    // Each case builds 3 corpora through the hydraulic solver; keep the
+    // case count small so the suite stays in CI budget.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A fault-injected corpus is byte-identical across worker thread
+    /// counts, including its build summary.
+    #[test]
+    fn faulted_corpus_is_thread_count_invariant(
+        net_seed in 0u64..100,
+        corpus_seed in 0u64..1000,
+        dropout in 0.05f64..0.35,
+    ) {
+        let net = small_grid(net_seed);
+        let cfg = FeatureConfig {
+            faults: FaultModel {
+                dropout_rate: dropout,
+                stuck_rate: 0.1,
+                spike_rate: 0.05,
+                ..FaultModel::none()
+            }
+            .with_seed(corpus_seed ^ 0x5eed),
+            ..Default::default()
+        };
+        let builder = DatasetBuilder::new(&net, SensorSet::full(&net)).feature_config(cfg);
+        let reference = builder.build(6, corpus_seed, 1).unwrap();
+        for threads in [2usize, 8] {
+            let ds = builder.build(6, corpus_seed, threads).unwrap();
+            prop_assert_eq!(&reference.x, &ds.x, "features diverge at {} threads", threads);
+            prop_assert_eq!(&reference.labels, &ds.labels);
+            prop_assert_eq!(&reference.summary, &ds.summary);
+        }
+    }
+}

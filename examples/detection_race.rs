@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         features: FeatureConfig {
             noise: MeasurementNoise::none(),
             include_topology: false,
+            ..Default::default()
         },
         threads: 8,
         ..Default::default()
