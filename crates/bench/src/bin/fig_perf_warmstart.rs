@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use aqua_bench::{f3, print_table, run_scale};
+use aqua_bench::{f3, print_table, run_scale, write_bench_json};
 use aqua_core::{AquaScale, AquaScaleConfig};
 use aqua_net::Network;
 use aqua_sensing::LeakDataset;
@@ -55,6 +55,7 @@ fn max_feature_delta(a: &LeakDataset, b: &LeakDataset) -> f64 {
 }
 
 fn main() {
+    let bench_start = Instant::now();
     let scale = run_scale(400, 0);
     let samples = scale.train;
     let networks = [aqua_net::synth::epa_net(), aqua_net::synth::wssc_subnet()];
@@ -126,16 +127,21 @@ fn main() {
     );
 
     let met = worst_speedup >= TARGET_SPEEDUP;
-    let json = format!(
-        "{{\n  \"bench\": \"fig_perf_warmstart\",\n  \"units\": \"seconds\",\n  \
+    let metrics = format!(
+        "{{\n    \"units\": \"seconds\",\n    \
          \"config\": {{\"samples\": {samples}, \"threads\": {THREADS}, \"seed\": {SEED}, \
-         \"paper_scale\": {}}},\n  \"results\": [\n{}\n  ],\n  \
-         \"acceptance\": {{\"target_speedup\": {TARGET_SPEEDUP}, \"worst_speedup\": {:.3}, \"met\": {met}}}\n}}\n",
+         \"paper_scale\": {}}},\n    \"results\": [\n{}\n    ],\n    \
+         \"acceptance\": {{\"target_speedup\": {TARGET_SPEEDUP}, \"worst_speedup\": {:.3}, \"met\": {met}}}\n  }}",
         samples >= 20_000,
         json_entries.join(",\n"),
         worst_speedup,
     );
-    std::fs::write("BENCH_hydraulics.json", &json).expect("write BENCH_hydraulics.json");
+    write_bench_json(
+        "BENCH_hydraulics.json",
+        "fig_perf_warmstart",
+        bench_start.elapsed().as_secs_f64(),
+        &metrics,
+    );
     println!(
         "wrote BENCH_hydraulics.json (worst speedup {})",
         f3(worst_speedup)

@@ -18,7 +18,9 @@
 //! (`AQUA_SMOKE=1` for the CI smoke grid, `AQUA_PAPER_SCALE=1` for the
 //! paper-scale corpus).
 
-use aqua_bench::{f3, print_table, run_scale};
+use std::time::Instant;
+
+use aqua_bench::{f3, print_table, run_scale, write_bench_json};
 use aqua_core::experiment::{Experiment, SourceMix};
 use aqua_core::AquaScaleConfig;
 use aqua_ml::ModelKind;
@@ -51,6 +53,7 @@ fn smoke() -> bool {
 }
 
 fn main() {
+    let bench_start = Instant::now();
     let net = synth::epa_net();
     let (sigmas, dropouts, scale): (Vec<f64>, Vec<f64>, _) = if smoke() {
         (
@@ -178,20 +181,25 @@ fn main() {
             )
         })
         .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"fig_robustness\",\n  \"network\": \"EPA-NET\",\n  \
+    let metrics = format!(
+        "{{\n    \"network\": \"EPA-NET\",\n    \
          \"config\": {{\"train_samples\": {}, \"test_samples\": {}, \"fault_seed\": {FAULT_SEED}, \
-         \"smoke\": {}}},\n  \"results\": [\n{}\n  ],\n  \
+         \"smoke\": {}}},\n    \"results\": [\n{}\n    ],\n    \
          \"acceptance\": {{\"dropout\": {ACCEPT_DROPOUT}, \"pressure_sigma_m\": {DEFAULT_SIGMA}, \
          \"hamming\": {:.4}, \"all_finite\": {all_finite}, \"monotone_ish\": {monotone_ish}, \
-         \"met\": {met}}}\n}}\n",
+         \"met\": {met}}}\n  }}",
         scale.train,
         scale.test,
         smoke(),
         json_entries.join(",\n"),
         accept_hamming,
     );
-    std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
+    write_bench_json(
+        "BENCH_robustness.json",
+        "fig_robustness",
+        bench_start.elapsed().as_secs_f64(),
+        &metrics,
+    );
     println!(
         "wrote BENCH_robustness.json (acceptance cell hamming {})",
         f3(accept_hamming)

@@ -1,0 +1,190 @@
+//! Telemetry — observability coverage and overhead for the whole pipeline
+//! (DESIGN.md §8).
+//!
+//! Runs a scaled Phase I (corpus generation + profile training) and
+//! Phase II (streaming monitoring of a mid-stream leak) on EPA-NET with a
+//! `TelemetryHub` attached, then checks two properties:
+//!
+//! 1. **Coverage** — the span tree must show the full pipeline: solve and
+//!    feature extraction inside the corpus build, per-output training, and
+//!    the monitoring run.
+//! 2. **Cost** — the instrumented hot path (dataset generation, where all
+//!    solver time lives) must stay within 3 % of the uninstrumented arm,
+//!    measured as min-of-N on both arms. Telemetry off is one `Option`
+//!    check; telemetry on is counters and ordinal-keyed events, not spans
+//!    per sample.
+//!
+//! Emits `BENCH_telemetry.json` (envelope + span tree + the full metrics
+//! registry) and `BENCH_telemetry_events.jsonl` (the deterministic
+//! structured event stream, byte-identical for any builder thread count).
+//!
+//! Run with: `cargo run --release -p aqua-bench --bin fig_telemetry`
+//! (`AQUA_SMOKE=1` for the CI smoke scale, `AQUA_PAPER_SCALE=1` for the
+//! paper-scale corpus).
+
+use std::time::Instant;
+
+use aqua_bench::{f3, print_table, run_scale, write_bench_json};
+use aqua_core::{AquaScale, AquaScaleConfig, MonitoringSession};
+use aqua_hydraulics::{LeakEvent, Scenario, SolverOptions};
+use aqua_ml::ModelKind;
+use aqua_net::Network;
+use aqua_telemetry::TelemetryHub;
+
+const SEED: u64 = 1234;
+const THREADS: usize = 4;
+/// Instrumented hot path may cost at most this fraction over baseline.
+const MAX_OVERHEAD: f64 = 0.03;
+/// Monitoring window: leak at slot 8 of 16 (15-minute slots).
+const LEAK_SLOT: u64 = 8;
+const WINDOW_SLOTS: u64 = 16;
+
+fn smoke() -> bool {
+    std::env::var("AQUA_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn config(samples: usize) -> AquaScaleConfig {
+    AquaScaleConfig {
+        // Gradient boosting so the artifact also carries boosting-round
+        // telemetry (`ml.train.boosting_rounds`).
+        model: ModelKind::gradient_boosting(),
+        train_samples: samples,
+        threads: THREADS,
+        seed: SEED,
+        ..Default::default()
+    }
+}
+
+/// One corpus build; returns wall-clock seconds. `hub: None` is the
+/// uninstrumented control arm.
+fn build_time(net: &Network, samples: usize, hub: Option<&TelemetryHub>) -> f64 {
+    let mut aqua = AquaScale::new(net, config(samples));
+    if let Some(hub) = hub {
+        aqua = aqua.with_telemetry(hub.ctx());
+    }
+    let start = Instant::now();
+    aqua.generate_dataset(samples, SEED).expect("corpus build");
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let bench_start = Instant::now();
+    let samples = if smoke() { 60 } else { run_scale(400, 0).train };
+    // Smoke builds finish in ~50 ms, so scheduler noise dwarfs any real
+    // overhead on a single pass; min-of-5 on both arms strips it.
+    let passes = 5;
+    let net = aqua_net::synth::epa_net();
+
+    // ---- overhead: min-of-N corpus builds, both arms interleaved -------
+    let _ = build_time(&net, (samples / 20).max(8), None); // warm-up
+    let (mut uninstrumented_s, mut instrumented_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..passes {
+        uninstrumented_s = uninstrumented_s.min(build_time(&net, samples, None));
+        // Fresh hub per pass: event buffers never carry across passes.
+        let hub = TelemetryHub::new();
+        instrumented_s = instrumented_s.min(build_time(&net, samples, Some(&hub)));
+    }
+    let overhead = instrumented_s / uninstrumented_s - 1.0;
+    let overhead_met = overhead <= MAX_OVERHEAD;
+
+    // ---- instrumented end-to-end run for the trace artifact ------------
+    let hub = TelemetryHub::new();
+    let aqua = AquaScale::new(&net, config(samples)).with_telemetry(hub.ctx());
+    let profile = aqua.train_profile().expect("phase I");
+    let mut session = MonitoringSession::new(&aqua, &profile, SEED);
+    let leak_node = net.junction_ids()[33];
+    let scenario = Scenario::new().with_leak(LeakEvent::new(leak_node, 0.015, LEAK_SLOT * 900));
+    session
+        .run_scenario(&scenario, WINDOW_SLOTS, 900, &SolverOptions::default())
+        .expect("phase II");
+
+    // Coverage: Phase I (solve, feature extraction, training) and Phase II
+    // (monitoring) must all appear in one span forest.
+    let tree = hub.span_tree();
+    let phase1 = tree
+        .iter()
+        .find(|s| s.name == "core.phase1")
+        .expect("core.phase1 span missing");
+    for required in [
+        "sensing.build",
+        "sensing.solve",
+        "sensing.features",
+        "ml.train",
+    ] {
+        assert!(
+            phase1.find(required).is_some(),
+            "span {required} missing under core.phase1"
+        );
+    }
+    let phase2 = tree
+        .iter()
+        .find(|s| s.name == "core.monitor.run")
+        .expect("core.monitor.run span missing");
+    let registry = hub.metrics_snapshot();
+    assert!(registry.counter("hydraulics.solver.solves") > 0);
+    assert_eq!(registry.counter("core.monitor.slots"), WINDOW_SLOTS + 1);
+
+    let mut events = std::fs::File::create("BENCH_telemetry_events.jsonl")
+        .expect("create BENCH_telemetry_events.jsonl");
+    hub.write_events_jsonl(&mut events)
+        .expect("write BENCH_telemetry_events.jsonl");
+
+    let mut rows = vec![
+        vec!["core.phase1".to_string(), f3(phase1.seconds())],
+        vec!["core.monitor.run".to_string(), f3(phase2.seconds())],
+    ];
+    for child in [
+        "sensing.baseline",
+        "sensing.solve",
+        "sensing.features",
+        "ml.train",
+    ] {
+        if let Some(s) = phase1.find(child) {
+            rows.push(vec![format!("  {child}"), f3(s.seconds())]);
+        }
+    }
+    print_table(
+        "Telemetry: pipeline span durations (EPA-NET, instrumented run)",
+        &["span", "seconds"],
+        &rows,
+    );
+    println!(
+        "hot-path overhead: {:.2}% (uninstrumented {} s, instrumented {} s, cap {:.0}%)",
+        overhead * 100.0,
+        f3(uninstrumented_s),
+        f3(instrumented_s),
+        MAX_OVERHEAD * 100.0
+    );
+
+    let span_tree_json: Vec<String> = tree.iter().map(|s| s.to_json()).collect();
+    let metrics = format!(
+        "{{\n    \"config\": {{\"samples\": {samples}, \"threads\": {THREADS}, \
+         \"seed\": {SEED}, \"smoke\": {}}},\n    \
+         \"overhead\": {{\"uninstrumented_s\": {uninstrumented_s:.4}, \
+         \"instrumented_s\": {instrumented_s:.4}, \"overhead_frac\": {overhead:.4}, \
+         \"max_overhead_frac\": {MAX_OVERHEAD}, \"met\": {overhead_met}}},\n    \
+         \"span_tree\": [{}],\n    \"registry\": {}\n  }}",
+        smoke(),
+        span_tree_json.join(", "),
+        registry.to_json(),
+    );
+    write_bench_json(
+        "BENCH_telemetry.json",
+        "fig_telemetry",
+        bench_start.elapsed().as_secs_f64(),
+        &metrics,
+    );
+    println!(
+        "wrote BENCH_telemetry.json + BENCH_telemetry_events.jsonl ({} events)",
+        samples
+    );
+    assert!(
+        overhead_met,
+        "telemetry overhead {:.2}% exceeds the {:.0}% acceptance bar \
+         (uninstrumented {uninstrumented_s:.4} s, instrumented {instrumented_s:.4} s)",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+}

@@ -53,6 +53,50 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Short commit hash for bench provenance: `GITHUB_SHA` when CI provides
+/// it, else `git rev-parse --short HEAD`, else `"unknown"` (e.g. a source
+/// tarball without the `.git` directory).
+pub fn commit_hash() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha.chars().take(9).collect();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders the envelope every `BENCH_*.json` artifact shares:
+/// `{"bench", "commit", "wall_clock_s", "metrics"}`. `metrics` must be a
+/// pre-rendered JSON value carrying the bench-specific payload (config,
+/// results, acceptance, …), so downstream tooling can read provenance and
+/// total cost without knowing any bench's schema.
+pub fn bench_envelope(bench: &str, wall_clock_s: f64, metrics: &str) -> String {
+    format!(
+        "{{\n  \"bench\": {bench:?},\n  \"commit\": {:?},\n  \
+         \"wall_clock_s\": {wall_clock_s:.3},\n  \"metrics\": {metrics}\n}}\n",
+        commit_hash()
+    )
+}
+
+/// Writes the enveloped bench payload to `file`.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written (benches want loud failures).
+pub fn write_bench_json(file: &str, bench: &str, wall_clock_s: f64, metrics: &str) {
+    std::fs::write(file, bench_envelope(bench, wall_clock_s, metrics))
+        .unwrap_or_else(|e| panic!("write {file}: {e}"));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +116,19 @@ mod tests {
     #[test]
     fn f3_formats() {
         assert_eq!(f3(0.12345), "0.123");
+    }
+
+    #[test]
+    fn envelope_carries_bench_commit_wall_clock_and_metrics() {
+        let json = bench_envelope("fig_example", 1.5, "{\"speedup\": 2.0}");
+        assert!(json.contains("\"bench\": \"fig_example\""));
+        assert!(json.contains("\"wall_clock_s\": 1.500"));
+        assert!(json.contains("\"commit\": \""));
+        assert!(json.contains("\"metrics\": {\"speedup\": 2.0}"));
+    }
+
+    #[test]
+    fn commit_hash_is_never_empty() {
+        assert!(!commit_hash().is_empty());
     }
 }

@@ -10,6 +10,7 @@ use aqua_ml::metrics::hamming_score_sample;
 use aqua_ml::ModelKind;
 use aqua_net::Network;
 use aqua_sensing::{k_medoids_placement, LeakDataset, PlacementConfig, SensorSet};
+use aqua_telemetry::TelemetryCtx;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -79,6 +80,7 @@ pub struct Experiment<'a> {
     pub freeze: FreezeModel,
     /// Human-input model (λ, p_e, γ).
     pub human: HumanInputModel,
+    tel: TelemetryCtx<'a>,
 }
 
 impl<'a> Experiment<'a> {
@@ -92,7 +94,16 @@ impl<'a> Experiment<'a> {
             temperature_f: 10.0,
             freeze: FreezeModel::default(),
             human: HumanInputModel::default(),
+            tel: TelemetryCtx::none(),
         }
+    }
+
+    /// Attaches a telemetry context: training, corpus generation and
+    /// evaluation all report into it (`core.phase1` / `sensing.build` /
+    /// `core.evaluate` spans plus their metrics).
+    pub fn with_telemetry(mut self, tel: TelemetryCtx<'a>) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// Selects a k-medoids sensor deployment covering `fraction` of all
@@ -111,7 +122,7 @@ impl<'a> Experiment<'a> {
 
     /// Phase I on this experiment's settings.
     pub fn train(&self) -> Result<(AquaScale<'a>, ProfileModel), AquaError> {
-        let aqua = AquaScale::new(self.net, self.config.clone());
+        let aqua = AquaScale::new(self.net, self.config.clone()).with_telemetry(self.tel);
         let profile = aqua.train_profile()?;
         Ok((aqua, profile))
     }
@@ -131,6 +142,8 @@ impl<'a> Experiment<'a> {
         mix: SourceMix,
         elapsed_slots: u64,
     ) -> Result<Evaluation, AquaError> {
+        let span = self.tel.span("core.evaluate");
+        let tel = span.ctx();
         let leak_start = 8 * 900; // ScenarioSampler default
         let mut total = 0.0;
         let mut latency = 0.0;
@@ -162,6 +175,10 @@ impl<'a> Experiment<'a> {
             latency += inference.latency.as_secs_f64();
         }
         let n = test.x.rows() as f64;
+        if tel.enabled() {
+            tel.add("core.evaluate.samples", test.x.rows() as u64);
+            tel.observe("core.evaluate.hamming", total / n);
+        }
         Ok(Evaluation {
             hamming: total / n,
             mean_latency_s: latency / n,
@@ -176,14 +193,14 @@ impl<'a> Experiment<'a> {
         &self,
         kinds: &[ModelKind],
     ) -> Result<Vec<(&'static str, f64)>, AquaError> {
-        let aqua = AquaScale::new(self.net, self.config.clone());
+        let aqua = AquaScale::new(self.net, self.config.clone()).with_telemetry(self.tel);
         let train = aqua.generate_dataset(self.config.train_samples, self.config.seed)?;
         let test = self.test_corpus(&aqua)?;
         let mut out = Vec::with_capacity(kinds.len());
         for kind in kinds {
             let mut cfg = self.config.clone();
             cfg.model = kind.clone();
-            let aqua_k = AquaScale::new(self.net, cfg);
+            let aqua_k = AquaScale::new(self.net, cfg).with_telemetry(self.tel);
             let profile = aqua_k.train_profile_on(&train)?;
             let eval = self.evaluate(&aqua_k, &profile, &test, SourceMix::IotOnly, 1)?;
             out.push((kind.name(), eval.hamming));

@@ -100,13 +100,16 @@ impl SensorHealth {
         bounds: (f64, f64),
         policy: &HealthPolicy,
     ) -> Option<f64> {
+        // Counters saturate: a channel that misbehaves for the entire life
+        // of a long-running session must pin at the maximum, not wrap back
+        // to zero and silently drop below its quarantine threshold.
         let used = match reading {
             None => {
-                self.staleness += 1;
+                self.staleness = self.staleness.saturating_add(1);
                 self.last_value
             }
             Some(v) if !v.is_finite() || v < bounds.0 || v > bounds.1 => {
-                self.implausible += 1;
+                self.implausible = self.implausible.saturating_add(1);
                 // An implausible value also breaks any repeat streak — the
                 // channel is live, just wrong.
                 self.staleness = 0;
@@ -117,7 +120,7 @@ impl SensorHealth {
                 self.staleness = 0;
                 if policy.max_repeats > 0 {
                     if self.last_value == Some(v) {
-                        self.repeats += 1;
+                        self.repeats = self.repeats.saturating_add(1);
                     } else {
                         self.repeats = 0;
                     }
@@ -201,6 +204,36 @@ mod tests {
         let policy = HealthPolicy::default();
         let mut h = SensorHealth::default();
         assert_eq!(h.ingest(None, BOUNDS, &policy), None);
+    }
+
+    #[test]
+    fn counters_saturate_at_usize_max_instead_of_wrapping() {
+        // A wrap to zero would flip a permanently-failed channel back under
+        // its threshold; saturation keeps it pinned (and quarantined).
+        let policy = HealthPolicy::default();
+        let mut h = SensorHealth {
+            staleness: usize::MAX,
+            implausible: usize::MAX,
+            ..SensorHealth::default()
+        };
+        h.ingest(None, BOUNDS, &policy);
+        assert_eq!(h.staleness, usize::MAX);
+        assert!(h.is_quarantined());
+
+        let mut h = SensorHealth {
+            implausible: usize::MAX,
+            ..SensorHealth::default()
+        };
+        h.ingest(Some(1e7), BOUNDS, &policy);
+        assert_eq!(h.implausible, usize::MAX);
+
+        let mut h = SensorHealth {
+            repeats: usize::MAX,
+            last_value: Some(13.37),
+            ..SensorHealth::default()
+        };
+        h.ingest(Some(13.37), BOUNDS, &policy);
+        assert_eq!(h.repeats, usize::MAX);
     }
 
     #[test]

@@ -128,10 +128,14 @@ impl<'a> MonitoringSession<'a> {
         snapshot: Snapshot,
         external: &ExternalObservations,
     ) -> Result<Option<crate::pipeline::Inference>, AquaError> {
+        let tel = self.aqua.telemetry();
         let config = self.aqua.config().features;
         let n_pressure = self.profile.sensors.pressure_nodes.len();
         let slot = self.slot;
         self.slot += 1;
+        let quarantined_before = tel
+            .enabled()
+            .then(|| self.health.iter().filter(|h| h.is_quarantined()).count());
 
         // Noise is drawn for every channel on every slot — even quarantined
         // ones — so the RNG stream (and with it the whole session) never
@@ -182,12 +186,29 @@ impl<'a> MonitoringSession<'a> {
         });
         let time = snapshot.time;
         self.prev_used = Some(used);
+        if let Some(before) = quarantined_before {
+            tel.add("core.monitor.slots", 1);
+            // Quarantine is sticky, so any growth this slot is exactly the
+            // number of channels that transitioned into quarantine.
+            let after = self.health.iter().filter(|h| h.is_quarantined()).count();
+            tel.add(
+                "core.monitor.quarantine_transitions",
+                (after - before) as u64,
+            );
+        }
         let Some(features) = features else {
             return Ok(None);
         };
 
         let inference = self.aqua.infer(self.profile, &features, external)?;
         if !inference.leak_nodes.is_empty() {
+            if tel.enabled() {
+                tel.add("core.monitor.detections", 1);
+                tel.observe(
+                    "core.monitor.detection_latency_s",
+                    inference.latency.as_secs_f64(),
+                );
+            }
             self.detections.push(Detection {
                 time,
                 leak_nodes: inference.leak_nodes.clone(),
@@ -209,6 +230,7 @@ impl<'a> MonitoringSession<'a> {
         step: u64,
         solver: &SolverOptions,
     ) -> Result<Option<u64>, AquaError> {
+        let _run = self.aqua.telemetry().span("core.monitor.run");
         let net: &Network = self.aqua.network();
         let mut first_hit = None;
         for slot in 0..=slots {
@@ -376,6 +398,39 @@ mod tests {
             !session.quarantined_channels().is_empty(),
             "frozen channels must be caught by the repeat check"
         );
+    }
+
+    #[test]
+    fn telemetry_counts_slots_quarantines_and_detections() {
+        let net = synth::epa_net();
+        let config = AquaScaleConfig {
+            model: ModelKind::logistic_r(),
+            train_samples: 40,
+            max_events: 2,
+            threads: 4,
+            ..Default::default()
+        };
+        let hub = aqua_telemetry::TelemetryHub::new();
+        let aqua = AquaScale::new(&net, config).with_telemetry(hub.ctx());
+        let profile = aqua.train_profile().unwrap();
+        let mut session = MonitoringSession::new(&aqua, &profile, 5);
+        session.kill_sensor(0);
+        session
+            .run_scenario(&Scenario::default(), 8, 900, &SolverOptions::default())
+            .unwrap();
+
+        let snap = hub.metrics_snapshot();
+        assert_eq!(snap.counter("core.monitor.slots"), 9);
+        // The killed channel goes stale and crosses the threshold exactly
+        // once (quarantine is sticky).
+        assert_eq!(snap.counter("core.monitor.quarantine_transitions"), 1);
+        // Slot 0 primes the delta features; every later slot infers.
+        assert_eq!(snap.counter("core.infer.count"), 8);
+        assert_eq!(
+            snap.counter("core.monitor.detections") as usize,
+            session.detections.len()
+        );
+        assert!(hub.span_tree().iter().any(|s| s.name == "core.monitor.run"));
     }
 
     #[test]

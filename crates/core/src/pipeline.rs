@@ -7,6 +7,7 @@ use aqua_hydraulics::SolverOptions;
 use aqua_ml::{Matrix, ModelKind, MultiOutputModel, Scaler};
 use aqua_net::{Network, NodeId};
 use aqua_sensing::{DatasetBuilder, FeatureConfig, LeakDataset, SensorSet};
+use aqua_telemetry::TelemetryCtx;
 
 use crate::error::AquaError;
 
@@ -149,12 +150,31 @@ impl Inference {
 pub struct AquaScale<'a> {
     net: &'a Network,
     config: AquaScaleConfig,
+    tel: TelemetryCtx<'a>,
 }
 
 impl<'a> AquaScale<'a> {
     /// Binds the framework to a network.
     pub fn new(net: &'a Network, config: AquaScaleConfig) -> Self {
-        AquaScale { net, config }
+        AquaScale {
+            net,
+            config,
+            tel: TelemetryCtx::none(),
+        }
+    }
+
+    /// Attaches a telemetry context: Phase I emits `core.phase1` spans
+    /// (with the corpus build and training nested under them) and Phase II
+    /// records `core.infer.*` latency metrics. The default
+    /// ([`TelemetryCtx::none`]) reduces every hook to one `Option` check.
+    pub fn with_telemetry(mut self, tel: TelemetryCtx<'a>) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    /// The attached telemetry context ([`TelemetryCtx::none`] by default).
+    pub fn telemetry(&self) -> TelemetryCtx<'a> {
+        self.tel
     }
 
     /// The active configuration.
@@ -175,7 +195,7 @@ impl<'a> AquaScale<'a> {
             .unwrap_or_else(|| SensorSet::full(self.net))
     }
 
-    fn dataset_builder(&self) -> DatasetBuilder<'a> {
+    fn dataset_builder(&self, tel: TelemetryCtx<'a>) -> DatasetBuilder<'a> {
         DatasetBuilder::new(self.net, self.sensors())
             .max_events(self.config.max_events)
             .ec_range(self.config.ec_range.0, self.config.ec_range.1)
@@ -183,44 +203,70 @@ impl<'a> AquaScale<'a> {
             .feature_config(self.config.features)
             .solver_options(self.config.solver.clone())
             .warm_start(self.config.warm_start)
+            .telemetry(tel)
     }
 
     /// Generates a labeled corpus with this deployment's settings (used for
     /// both training and held-out evaluation; vary `seed`).
     pub fn generate_dataset(&self, samples: usize, seed: u64) -> Result<LeakDataset, AquaError> {
+        self.generate_dataset_traced(samples, seed, self.tel)
+    }
+
+    fn generate_dataset_traced(
+        &self,
+        samples: usize,
+        seed: u64,
+        tel: TelemetryCtx<'a>,
+    ) -> Result<LeakDataset, AquaError> {
         if samples == 0 {
             return Err(AquaError::InvalidConfig {
                 reason: "dataset size must be positive".into(),
             });
         }
         Ok(self
-            .dataset_builder()
+            .dataset_builder(tel)
             .build(samples, seed, self.config.threads)?)
     }
 
     /// **Phase I / Algorithm 1** — trains the profile model on a freshly
     /// generated corpus of `train_samples` simulated failure scenarios.
     pub fn train_profile(&self) -> Result<ProfileModel, AquaError> {
+        let phase = self.tel.span("core.phase1");
+        let tel = phase.ctx();
         let start = Instant::now();
-        let dataset = self.generate_dataset(self.config.train_samples, self.config.seed)?;
-        self.train_profile_on(&dataset).map(|mut p| {
+        let dataset =
+            self.generate_dataset_traced(self.config.train_samples, self.config.seed, tel)?;
+        let result = self.train_profile_on_traced(&dataset, tel).map(|mut p| {
             p.training_time = start.elapsed();
             p
-        })
+        });
+        if result.is_ok() {
+            tel.observe("core.pipeline.phase1_s", start.elapsed().as_secs_f64());
+        }
+        result
     }
 
     /// Trains the profile on an existing corpus (lets experiments reuse one
     /// expensive corpus across model families).
     pub fn train_profile_on(&self, dataset: &LeakDataset) -> Result<ProfileModel, AquaError> {
+        self.train_profile_on_traced(dataset, self.tel)
+    }
+
+    fn train_profile_on_traced(
+        &self,
+        dataset: &LeakDataset,
+        tel: TelemetryCtx<'a>,
+    ) -> Result<ProfileModel, AquaError> {
         let start = Instant::now();
         let scaler = Scaler::fit(&dataset.x);
         let x = scaler.transform(&dataset.x);
-        let model = MultiOutputModel::fit(
+        let model = MultiOutputModel::fit_traced(
             self.config.model.clone(),
             &x,
             &dataset.labels,
             self.config.seed,
             self.config.threads,
+            tel,
         )?;
         Ok(ProfileModel {
             model,
@@ -263,18 +309,24 @@ impl<'a> AquaScale<'a> {
             &self.config.tuning,
         );
 
-        let leak_nodes = predicted
+        let leak_nodes: Vec<NodeId> = predicted
             .iter()
             .zip(&profile.junctions)
             .filter(|(&on, _)| on)
             .map(|(_, &j)| j)
             .collect();
+        let latency = start.elapsed();
+        if self.tel.enabled() {
+            self.tel.add("core.infer.count", 1);
+            self.tel
+                .observe("core.infer.latency_s", latency.as_secs_f64());
+        }
         Ok(Inference {
             p1,
             predicted,
             leak_nodes,
             energy: (energy_before, energy_after),
-            latency: start.elapsed(),
+            latency,
         })
     }
 
@@ -392,6 +444,35 @@ mod tests {
             "human report must add at least one predicted node"
         );
         assert!(tuned.energy.1 <= tuned.energy.0);
+    }
+
+    #[test]
+    fn telemetry_captures_phase1_span_tree_and_metrics() {
+        let net = synth::epa_net();
+        let hub = aqua_telemetry::TelemetryHub::new();
+        let mut config = quick_config(ModelKind::logistic_r());
+        config.train_samples = 60;
+        let aqua = AquaScale::new(&net, config).with_telemetry(hub.ctx());
+        let profile = aqua.train_profile().unwrap();
+        let test = aqua.generate_dataset(3, 7).unwrap();
+        aqua.infer(&profile, test.x.row(0), &ExternalObservations::none())
+            .unwrap();
+
+        // Phase I: corpus build (solve + feature extraction) and training
+        // all nest under one `core.phase1` span.
+        let tree = hub.span_tree();
+        let phase1 = tree.iter().find(|s| s.name == "core.phase1").unwrap();
+        assert!(phase1.find("sensing.build").is_some());
+        assert!(phase1.find("sensing.solve").is_some());
+        assert!(phase1.find("sensing.features").is_some());
+        assert!(phase1.find("ml.train").is_some());
+
+        let snap = hub.metrics_snapshot();
+        assert!(snap.counter("hydraulics.solver.solves") > 0);
+        assert_eq!(snap.counter("ml.train.outputs"), 91);
+        assert_eq!(snap.counter("core.infer.count"), 1);
+        assert_eq!(snap.histogram("core.infer.latency_s").unwrap().count, 1);
+        assert_eq!(snap.histogram("core.pipeline.phase1_s").unwrap().count, 1);
     }
 
     #[test]

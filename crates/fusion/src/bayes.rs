@@ -1,6 +1,6 @@
 //! Bayes expert aggregation of leak probabilities (paper eqs. 5–6).
 //!
-//! "[Combining] probability distributions from experts in risk analysis …
+//! "\[Combining\] probability distributions from experts in risk analysis …
 //! we simply consider each information source as an expert." Each source
 //! `j` reports `p_j = P(leak)`; the posterior odds are the product of the
 //! per-source odds (eq. 6), and the fused probability is

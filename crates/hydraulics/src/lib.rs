@@ -51,12 +51,14 @@ pub use error::HydraulicError;
 pub use headloss::HeadlossModel;
 pub use quality::{QualitySources, WaterQuality};
 pub use recovery::{
-    solve_snapshot_recovering, RecoveryAction, SolveReport, ESCALATION_BUDGET_FACTOR,
-    ESCALATION_DAMPING_FACTOR,
+    solve_snapshot_recovering, solve_snapshot_recovering_traced, RecoveryAction, SolveReport,
+    ESCALATION_BUDGET_FACTOR, ESCALATION_DAMPING_FACTOR,
 };
 pub use scenario::{LeakEvent, Scenario};
 pub use snapshot::Snapshot;
-pub use solver::{solve_snapshot, solve_snapshot_with, LinearBackend, SolverOptions};
+pub use solver::{
+    solve_snapshot, solve_snapshot_traced, solve_snapshot_with, LinearBackend, SolverOptions,
+};
 pub use workspace::{SolverWorkspace, WarmStart};
 
 /// Gravitational acceleration, m/s².

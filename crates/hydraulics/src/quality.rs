@@ -1,6 +1,6 @@
 //! Water-quality transport: contaminant advection along solved flows.
 //!
-//! The paper's EPANET++ "capture[s] hydraulic and water quality behavior"
+//! The paper's EPANET++ "capture\[s\] hydraulic and water quality behavior"
 //! (Sec. VI), and the introduction motivates quality tracking: "Quality of
 //! water can also be compromised via contaminant propagation through a
 //! faulty pipe." This module implements the standard Lagrangian

@@ -26,11 +26,12 @@
 //! them.
 
 use aqua_net::Network;
+use aqua_telemetry::TelemetryCtx;
 
 use crate::error::HydraulicError;
 use crate::scenario::Scenario;
 use crate::snapshot::Snapshot;
-use crate::solver::{effective_backend, solve_snapshot_with, LinearBackend, SolverOptions};
+use crate::solver::{effective_backend, solve_snapshot_traced, LinearBackend, SolverOptions};
 use crate::workspace::SolverWorkspace;
 
 /// Iteration-budget multiplier applied by the escalation rung.
@@ -55,6 +56,16 @@ pub enum RecoveryAction {
 }
 
 impl RecoveryAction {
+    /// The registry counter this rung increments when it fires (DESIGN.md
+    /// §8 naming: `crate.subsystem.name`).
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            RecoveryAction::ColdRestart => "hydraulics.recovery.cold_restarts",
+            RecoveryAction::Escalated { .. } => "hydraulics.recovery.escalations",
+            RecoveryAction::DenseFallback => "hydraulics.recovery.dense_fallbacks",
+        }
+    }
+
     fn is_cold_restart(&self) -> bool {
         matches!(self, RecoveryAction::ColdRestart)
     }
@@ -83,6 +94,22 @@ impl SolveReport {
     /// `true` when the solve converged on the first attempt.
     pub fn was_clean(&self) -> bool {
         self.recoveries.is_empty()
+    }
+
+    /// Mirrors this report into the telemetry registry, making the report
+    /// a thin per-call view over the same counts: each rung bumps its
+    /// [`RecoveryAction::metric_name`] counter and recovered solves bump
+    /// `hydraulics.recovery.recovered_solves`. Summing reports over a run
+    /// therefore reproduces the registry counters exactly (tested in this
+    /// module).
+    pub fn record(&self, tel: TelemetryCtx<'_>) {
+        if !tel.enabled() || self.recoveries.is_empty() {
+            return;
+        }
+        tel.add("hydraulics.recovery.recovered_solves", 1);
+        for action in &self.recoveries {
+            tel.add(action.metric_name(), 1);
+        }
     }
 }
 
@@ -141,7 +168,7 @@ fn next_rung(
 /// # Panics
 ///
 /// Panics if `ws` was built for a network with different node/link counts
-/// (same contract as [`solve_snapshot_with`]).
+/// (same contract as [`solve_snapshot_with`](crate::solve_snapshot_with)).
 pub fn solve_snapshot_recovering(
     net: &Network,
     scenario: &Scenario,
@@ -149,13 +176,37 @@ pub fn solve_snapshot_recovering(
     opts: &SolverOptions,
     ws: &mut SolverWorkspace,
 ) -> Result<(Snapshot, SolveReport), HydraulicError> {
+    solve_snapshot_recovering_traced(net, scenario, t, opts, ws, TelemetryCtx::none())
+}
+
+/// [`solve_snapshot_recovering`] with telemetry: every solve attempt flows
+/// through [`solve_snapshot_traced`](crate::solve_snapshot_traced) and the
+/// final [`SolveReport`] is mirrored into the registry via
+/// [`SolveReport::record`].
+///
+/// # Errors
+///
+/// Same contract as [`solve_snapshot_recovering`].
+///
+/// # Panics
+///
+/// Panics if `ws` was built for a network with different node/link counts.
+pub fn solve_snapshot_recovering_traced(
+    net: &Network,
+    scenario: &Scenario,
+    t: u64,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace,
+    tel: TelemetryCtx<'_>,
+) -> Result<(Snapshot, SolveReport), HydraulicError> {
     let mut report = SolveReport::default();
     let mut current = opts.clone();
     loop {
         report.attempts += 1;
-        match solve_snapshot_with(net, scenario, t, &current, ws) {
+        match solve_snapshot_traced(net, scenario, t, &current, ws, tel) {
             Ok(snap) => {
                 report.iterations = snap.iterations;
+                report.record(tel);
                 return Ok((snap, report));
             }
             Err(err) => {
@@ -325,6 +376,84 @@ mod tests {
             next_rung(&HydraulicError::NoSource, true, &[], &base, 500),
             None
         );
+    }
+
+    #[test]
+    fn registry_counters_are_a_view_over_summed_reports() {
+        use aqua_telemetry::TelemetryHub;
+
+        let net = aqua_net::synth::epa_net();
+        let junctions = net.junction_ids();
+        let hub = TelemetryHub::new();
+        let tel = hub.ctx();
+
+        let mut reports = Vec::new();
+        let mut ws = SolverWorkspace::new(&net);
+        // One clean solve and one that needs the ladder (the oscillating
+        // two-emitter scenario from `oscillating_solve_escalates…`).
+        let (_, clean) = solve_snapshot_recovering_traced(
+            &net,
+            &Scenario::default(),
+            0,
+            &SolverOptions::default(),
+            &mut ws,
+            tel,
+        )
+        .unwrap();
+        reports.push(clean);
+        let hard = Scenario::new().with_leaks([
+            LeakEvent::new(junctions[10], 0.9, 0),
+            LeakEvent::new(junctions[55], 1.2, 0),
+        ]);
+        let mut ws2 = SolverWorkspace::new(&net);
+        let (_, dirty) = solve_snapshot_recovering_traced(
+            &net,
+            &hard,
+            0,
+            &SolverOptions::default(),
+            &mut ws2,
+            tel,
+        )
+        .unwrap();
+        reports.push(dirty);
+
+        // The SolveReport structs are thin per-call views: summing them
+        // reproduces the registry counters exactly.
+        let snap = hub.metrics_snapshot();
+        let recovered = reports.iter().filter(|r| !r.was_clean()).count() as u64;
+        assert_eq!(
+            snap.counter("hydraulics.recovery.recovered_solves"),
+            recovered
+        );
+        for (name, pick) in [
+            (
+                "hydraulics.recovery.cold_restarts",
+                RecoveryAction::is_cold_restart as fn(&RecoveryAction) -> bool,
+            ),
+            (
+                "hydraulics.recovery.escalations",
+                RecoveryAction::is_escalation,
+            ),
+            (
+                "hydraulics.recovery.dense_fallbacks",
+                RecoveryAction::is_dense_fallback,
+            ),
+        ] {
+            let from_reports: u64 = reports
+                .iter()
+                .map(|r| r.recoveries.iter().filter(|a| pick(a)).count() as u64)
+                .sum();
+            assert_eq!(snap.counter(name), from_reports, "{name}");
+        }
+        // Attempts recorded as individual solves (clean 1 + ladder N).
+        let attempts: u64 = reports.iter().map(|r| r.attempts as u64).sum();
+        assert_eq!(snap.counter("hydraulics.solver.solves"), attempts);
+        assert_eq!(
+            snap.counter("hydraulics.solver.failures"),
+            attempts - reports.len() as u64
+        );
+        // Residual trajectories were captured for every attempt.
+        assert!(snap.histogram("hydraulics.solver.residual").unwrap().count > 0);
     }
 
     #[test]

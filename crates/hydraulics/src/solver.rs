@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use aqua_net::{LinkKind, LinkStatus, Network, NodeId, NodeKind, ValveKind};
+use aqua_telemetry::TelemetryCtx;
 
 use crate::emitter::Emitter;
 use crate::error::HydraulicError;
@@ -111,6 +112,62 @@ pub fn solve_snapshot_with(
     t: u64,
     opts: &SolverOptions,
     ws: &mut SolverWorkspace,
+) -> Result<Snapshot, HydraulicError> {
+    solve_snapshot_traced(net, scenario, t, opts, ws, TelemetryCtx::none())
+}
+
+/// [`solve_snapshot_with`] with telemetry: records warm/cold workspace
+/// seeding (`hydraulics.workspace.warm_hits` / `cold_starts`), the Newton
+/// iteration count (`hydraulics.solver.iterations`), the per-iteration
+/// residual trajectory (`hydraulics.solver.residual`) and solve/failure
+/// counters into `tel`'s hub. With [`TelemetryCtx::none()`] this *is*
+/// `solve_snapshot_with` — the residual trajectory is not even collected.
+///
+/// # Errors
+///
+/// Same contract as [`solve_snapshot`].
+///
+/// # Panics
+///
+/// Panics if `ws` was built for a network with different node/link counts.
+pub fn solve_snapshot_traced(
+    net: &Network,
+    scenario: &Scenario,
+    t: u64,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace,
+    tel: TelemetryCtx<'_>,
+) -> Result<Snapshot, HydraulicError> {
+    if !tel.enabled() {
+        return solve_core(net, scenario, t, opts, ws, None);
+    }
+    let warm = ws.warm_is_usable();
+    let mut residuals = Vec::new();
+    let result = solve_core(net, scenario, t, opts, ws, Some(&mut residuals));
+    tel.add("hydraulics.solver.solves", 1);
+    tel.add(
+        if warm {
+            "hydraulics.workspace.warm_hits"
+        } else {
+            "hydraulics.workspace.cold_starts"
+        },
+        1,
+    );
+    tel.observe_many("hydraulics.solver.residual", &residuals);
+    match &result {
+        Ok(snap) => tel.observe("hydraulics.solver.iterations", snap.iterations as f64),
+        Err(_) => tel.add("hydraulics.solver.failures", 1),
+    }
+    result
+}
+
+fn solve_core(
+    net: &Network,
+    scenario: &Scenario,
+    t: u64,
+    opts: &SolverOptions,
+    ws: &mut SolverWorkspace,
+    mut residual_trace: Option<&mut Vec<f64>>,
 ) -> Result<Snapshot, HydraulicError> {
     assert_eq!(
         (ws.n_nodes, ws.n_links),
@@ -363,6 +420,9 @@ pub fn solve_snapshot_with(
         } else {
             flow_change
         };
+        if let Some(trace) = residual_trace.as_deref_mut() {
+            trace.push(residual);
+        }
         if !residual.is_finite() {
             return Err(HydraulicError::NumericalBlowup);
         }

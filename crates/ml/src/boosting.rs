@@ -133,6 +133,10 @@ impl Classifier for GradientBoosting {
             .map(|row| sigmoid(self.raw_score(row)))
             .collect())
     }
+
+    fn boosting_rounds(&self) -> Option<usize> {
+        Some(self.stage_count())
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,12 @@ pub trait Classifier: Send {
             .map(|p| u8::from(p > 0.5))
             .collect())
     }
+
+    /// Boosting rounds actually fitted, for model families that boost
+    /// (telemetry hook; `None` for everything else).
+    fn boosting_rounds(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Factory for the model families the paper compares (Sec. IV-A / Fig. 6),

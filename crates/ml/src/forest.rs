@@ -39,7 +39,7 @@ impl Default for RandomForestConfig {
 /// A bagging ensemble of CART trees with √d feature subsampling.
 ///
 /// The paper selects RF as one of the two HybridRSL base learners because it
-/// "remain[s] robust with decreasing number of IoT sensors".
+/// "remain\[s\] robust with decreasing number of IoT sensors".
 #[derive(Debug, Clone)]
 pub struct RandomForest {
     config: RandomForestConfig,

@@ -6,6 +6,7 @@
 //! is trained for each node independently" (Sec. III-B). Training is
 //! parallelized across outputs with scoped threads.
 
+use aqua_telemetry::TelemetryCtx;
 use crossbeam::thread;
 
 use crate::classifier::{Classifier, ModelKind};
@@ -45,6 +46,26 @@ impl MultiOutputModel {
         seed: u64,
         threads: usize,
     ) -> Result<Self, MlError> {
+        Self::fit_traced(kind, x, labels, seed, threads, TelemetryCtx::none())
+    }
+
+    /// [`fit`](Self::fit) with telemetry: wraps training in an `ml.train`
+    /// span and records per-output fit time (`ml.train.fit_s` histogram),
+    /// output count (`ml.train.outputs`) and — for boosted families —
+    /// total boosting rounds (`ml.train.boosting_rounds`). With
+    /// [`TelemetryCtx::none`] this *is* `fit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-output fit error.
+    pub fn fit_traced(
+        kind: ModelKind,
+        x: &Matrix,
+        labels: &[Vec<u8>],
+        seed: u64,
+        threads: usize,
+        tel: TelemetryCtx<'_>,
+    ) -> Result<Self, MlError> {
         if labels.is_empty() {
             return Err(MlError::EmptyTrainingSet);
         }
@@ -56,28 +77,44 @@ impl MultiOutputModel {
                 });
             }
         }
+        let span = tel.span("ml.train");
+        let tel = span.ctx();
         let threads = threads.max(1).min(labels.len());
         let n_out = labels.len();
         let mut results: Vec<Option<Result<Box<dyn Classifier>, MlError>>> =
             (0..n_out).map(|_| None).collect();
 
-        if threads == 1 {
-            for (v, slot) in results.iter_mut().enumerate() {
-                let mut model = kind.build(seed.wrapping_add(v as u64));
-                *slot = Some(model.fit(x, &labels[v]).map(|()| model));
+        // Times one fit; pushes seconds into `durs` only when telemetry is
+        // live (the disabled path never touches the clock).
+        let fit_one = |v: usize, durs: &mut Vec<f64>| -> Result<Box<dyn Classifier>, MlError> {
+            let t0 = tel.now_ns();
+            let mut model = kind.build(seed.wrapping_add(v as u64));
+            let fitted = model.fit(x, &labels[v]).map(|()| model);
+            if let (Some(t0), Some(t1)) = (t0, tel.now_ns()) {
+                durs.push(t1.saturating_sub(t0) as f64 / 1e9);
             }
+            fitted
+        };
+
+        if threads == 1 {
+            let mut durs = Vec::new();
+            for (v, slot) in results.iter_mut().enumerate() {
+                *slot = Some(fit_one(v, &mut durs));
+            }
+            tel.observe_many("ml.train.fit_s", &durs);
         } else {
             let chunk = n_out.div_ceil(threads);
-            let kind_ref = &kind;
+            let fit_one = &fit_one;
             thread::scope(|s| {
                 for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
                     let base = t * chunk;
                     s.spawn(move |_| {
+                        // One histogram flush per worker, not per output.
+                        let mut durs = Vec::new();
                         for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                            let v = base + off;
-                            let mut model = kind_ref.build(seed.wrapping_add(v as u64));
-                            *slot = Some(model.fit(x, &labels[v]).map(|()| model));
+                            *slot = Some(fit_one(base + off, &mut durs));
                         }
+                        tel.observe_many("ml.train.fit_s", &durs);
                     });
                 }
             })
@@ -87,6 +124,17 @@ impl MultiOutputModel {
         let mut models = Vec::with_capacity(n_out);
         for slot in results {
             models.push(slot.expect("every output trained")?);
+        }
+        if tel.enabled() {
+            tel.add("ml.train.outputs", n_out as u64);
+            let rounds: u64 = models
+                .iter()
+                .filter_map(|m| m.boosting_rounds())
+                .map(|r| r as u64)
+                .sum();
+            if rounds > 0 {
+                tel.add("ml.train.boosting_rounds", rounds);
+            }
         }
         Ok(MultiOutputModel { kind, models })
     }
@@ -177,6 +225,33 @@ mod tests {
         for v in 0..3 {
             assert!((batch[v][5] - single[v]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn traced_fit_records_training_metrics() {
+        let (x, labels) = data(120);
+        let hub = aqua_telemetry::TelemetryHub::new();
+        let model = MultiOutputModel::fit_traced(
+            ModelKind::gradient_boosting(),
+            &x,
+            &labels,
+            3,
+            2,
+            hub.ctx(),
+        )
+        .unwrap();
+        let snap = hub.metrics_snapshot();
+        assert_eq!(snap.counter("ml.train.outputs"), 3);
+        assert_eq!(snap.histogram("ml.train.fit_s").unwrap().count, 3);
+        let rounds: u64 = model
+            .models
+            .iter()
+            .filter_map(|m| m.boosting_rounds())
+            .map(|r| r as u64)
+            .sum();
+        assert!(rounds > 0);
+        assert_eq!(snap.counter("ml.train.boosting_rounds"), rounds);
+        assert_eq!(hub.span_tree()[0].name, "ml.train");
     }
 
     #[test]

@@ -10,11 +10,12 @@
 use std::fmt;
 
 use aqua_hydraulics::{
-    solve_snapshot, solve_snapshot_recovering, solve_snapshot_with, ExtendedPeriodSim,
-    HydraulicError, LeakEvent, Scenario, Snapshot, SolverOptions, SolverWorkspace, WarmStart,
+    solve_snapshot_recovering_traced, solve_snapshot_traced, ExtendedPeriodSim, HydraulicError,
+    LeakEvent, Scenario, Snapshot, SolverOptions, SolverWorkspace, WarmStart,
 };
 use aqua_ml::Matrix;
 use aqua_net::{Network, NodeId};
+use aqua_telemetry::{MetricsSnapshot, TelemetryCtx};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -135,6 +136,11 @@ struct SampleStats {
     recoveries: usize,
     /// Sensor channels whose delta had to be imputed (missing readings).
     imputed: usize,
+    /// Nanoseconds spent in hydraulic solves (telemetry only; 0 when
+    /// telemetry is disabled).
+    solve_ns: u64,
+    /// Nanoseconds spent in feature extraction (telemetry only).
+    feature_ns: u64,
 }
 
 /// One generated corpus row: the feature vector, its ground-truth scenario
@@ -164,6 +170,19 @@ impl BuildSummary {
     /// imputation.
     pub fn is_pristine(&self) -> bool {
         *self == BuildSummary::default()
+    }
+
+    /// Reconstructs a summary from the `sensing.build.*` counters of a
+    /// telemetry snapshot — the summary is a thin view over the metrics
+    /// registry, not a separate bookkeeping channel. When several builds
+    /// ran through the same hub this reflects their running totals.
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> BuildSummary {
+        BuildSummary {
+            resampled_slots: snap.counter("sensing.build.resampled_slots") as usize,
+            resample_draws: snap.counter("sensing.build.resample_draws") as usize,
+            solver_recoveries: snap.counter("sensing.build.solver_recoveries") as usize,
+            imputed_readings: snap.counter("sensing.build.imputed_readings") as usize,
+        }
     }
 }
 
@@ -212,6 +231,9 @@ pub struct DatasetBuilder<'a> {
     /// Route solves through the recovery ladder (see
     /// [`DatasetBuilder::recovery`]).
     recovery: bool,
+    /// Telemetry destination (disabled by default; see
+    /// [`DatasetBuilder::telemetry`]).
+    tel: TelemetryCtx<'a>,
 }
 
 impl<'a> DatasetBuilder<'a> {
@@ -229,7 +251,20 @@ impl<'a> DatasetBuilder<'a> {
             warm_start: true,
             resample_limit: 8,
             recovery: true,
+            tel: TelemetryCtx::none(),
         }
+    }
+
+    /// Attaches a telemetry context. [`build`](Self::build) then records
+    /// `sensing.build.*` counters/histograms, per-sample
+    /// `sensing.build.sample` events (keyed by the slot index, so the
+    /// event stream is byte-identical for any thread count) and a
+    /// `sensing.build` span with synthetic `sensing.solve` /
+    /// `sensing.features` children aggregating time across workers. The
+    /// default ([`TelemetryCtx::none`]) keeps the hot path untouched.
+    pub fn telemetry(mut self, tel: TelemetryCtx<'a>) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// Sets how many replacement scenario draws a corpus slot may consume
@@ -244,9 +279,9 @@ impl<'a> DatasetBuilder<'a> {
 
     /// Enables or disables the hydraulic solver recovery ladder (default
     /// on). When on, a failed solve is retried per
-    /// [`solve_snapshot_recovering`] before the scenario is declared
-    /// pathological; the converged result is identical to a clean solve
-    /// whenever the first attempt succeeds.
+    /// [`aqua_hydraulics::solve_snapshot_recovering`] before the scenario
+    /// is declared pathological; the converged result is identical to a
+    /// clean solve whenever the first attempt succeeds.
     pub fn recovery(mut self, recovery: bool) -> Self {
         self.recovery = recovery;
         self
@@ -315,6 +350,7 @@ impl<'a> DatasetBuilder<'a> {
         scenario: &Scenario,
         baseline: &aqua_hydraulics::EpsResult,
         ws: Option<&mut SolverWorkspace>,
+        tel: TelemetryCtx<'_>,
     ) -> Result<(Snapshot, Snapshot, usize), SensingError> {
         let t_before = self.sampler.leak_start - self.step;
         let t_after = self.sampler.leak_start + self.elapsed_slots * self.step;
@@ -339,12 +375,18 @@ impl<'a> DatasetBuilder<'a> {
                          ws: &mut SolverWorkspace|
          -> Result<Snapshot, HydraulicError> {
             if self.recovery {
-                let (snap, report) =
-                    solve_snapshot_recovering(self.net, with_tanks, t, &self.solver, ws)?;
+                let (snap, report) = solve_snapshot_recovering_traced(
+                    self.net,
+                    with_tanks,
+                    t,
+                    &self.solver,
+                    ws,
+                    tel,
+                )?;
                 recoveries += report.recoveries.len();
                 Ok(snap)
             } else {
-                solve_snapshot_with(self.net, with_tanks, t, &self.solver, ws)
+                solve_snapshot_traced(self.net, with_tanks, t, &self.solver, ws, tel)
             }
         };
         match ws {
@@ -378,20 +420,12 @@ impl<'a> DatasetBuilder<'a> {
                 Ok((before, after, recoveries))
             }
             None => {
-                let before = if self.recovery {
-                    // A fresh workspace per solve keeps cold semantics: no
-                    // state flows from one solve into the next (this is
-                    // exactly what `solve_snapshot` does internally).
-                    solve(&with_tanks, t_before, &mut SolverWorkspace::new(self.net))?
-                } else {
-                    solve_snapshot(self.net, &with_tanks, t_before, &self.solver)?
-                };
+                // A fresh workspace per solve keeps cold semantics: no
+                // state flows from one solve into the next (this is
+                // exactly what `solve_snapshot` does internally).
+                let before = solve(&with_tanks, t_before, &mut SolverWorkspace::new(self.net))?;
                 with_tanks.tank_levels = levels_at(t_after);
-                let after = if self.recovery {
-                    solve(&with_tanks, t_after, &mut SolverWorkspace::new(self.net))?
-                } else {
-                    solve_snapshot(self.net, &with_tanks, t_after, &self.solver)?
-                };
+                let after = solve(&with_tanks, t_after, &mut SolverWorkspace::new(self.net))?;
                 Ok((before, after, recoveries))
             }
         }
@@ -430,12 +464,19 @@ impl<'a> DatasetBuilder<'a> {
         if self.sampler.junctions.is_empty() {
             return Err(SensingError::NoJunctions);
         }
-        let baseline = self.baseline()?;
+        let build_span = self.tel.span("sensing.build");
+        let tel = build_span.ctx();
+        let baseline = {
+            let _baseline_span = tel.span("sensing.baseline");
+            self.baseline()?
+        };
         let threads = threads.max(1).min(n_samples.max(1));
+        let build_start = tel.now_ns().unwrap_or(0);
 
         let mut rows: Vec<Option<SampleRow>> = (0..n_samples).map(|_| None).collect();
         let worker = |i: usize, mut ws: Option<&mut SolverWorkspace>| -> SampleRow {
             let mut stats = SampleStats::default();
+            let sample_start = tel.now_ns();
             let mut attempt = 0usize;
             loop {
                 // Attempt 0 keeps the legacy per-sample seed, so corpora
@@ -449,10 +490,15 @@ impl<'a> DatasetBuilder<'a> {
                 };
                 let mut rng = StdRng::seed_from_u64(sample_seed);
                 let scenario = self.sampler.sample(&mut rng);
-                match self.snapshots_for(&scenario, &baseline, ws.as_deref_mut()) {
+                let solve_start = tel.now_ns();
+                match self.snapshots_for(&scenario, &baseline, ws.as_deref_mut(), tel) {
                     Ok((before, after, recoveries)) => {
+                        if let (Some(t0), Some(t1)) = (solve_start, tel.now_ns()) {
+                            stats.solve_ns += t1.saturating_sub(t0);
+                        }
                         stats.recoveries += recoveries;
                         stats.resamples = attempt;
+                        let feature_start = tel.now_ns();
                         let features = if self.features.faults.enabled() {
                             let model =
                                 self.features.faults.for_sample(seed.wrapping_add(i as u64));
@@ -484,6 +530,28 @@ impl<'a> DatasetBuilder<'a> {
                                 &mut rng,
                             )
                         };
+                        if let (Some(t0), Some(t1)) = (feature_start, tel.now_ns()) {
+                            stats.feature_ns += t1.saturating_sub(t0);
+                        }
+                        if let (Some(t0), Some(t1)) = (sample_start, tel.now_ns()) {
+                            tel.observe(
+                                "sensing.build.sample_s",
+                                t1.saturating_sub(t0) as f64 / 1e9,
+                            );
+                        }
+                        // Slot `i` is processed by exactly one worker, so
+                        // keying the event ordinal by the slot index keeps
+                        // the flushed stream byte-identical across thread
+                        // counts.
+                        tel.emit(
+                            i as u64,
+                            "sensing.build.sample",
+                            &[
+                                ("resamples", stats.resamples.into()),
+                                ("recoveries", stats.recoveries.into()),
+                                ("imputed", stats.imputed.into()),
+                            ],
+                        );
                         return Ok((features, scenario, stats));
                     }
                     Err(err) if attempt >= self.resample_limit => {
@@ -498,7 +566,12 @@ impl<'a> DatasetBuilder<'a> {
                             other => other,
                         });
                     }
-                    Err(_) => attempt += 1,
+                    Err(_) => {
+                        if let (Some(t0), Some(t1)) = (solve_start, tel.now_ns()) {
+                            stats.solve_ns += t1.saturating_sub(t0);
+                        }
+                        attempt += 1;
+                    }
                 }
             }
         };
@@ -534,6 +607,7 @@ impl<'a> DatasetBuilder<'a> {
         let mut x: Option<Matrix> = None;
         let mut scenarios = Vec::with_capacity(n_samples);
         let mut summary = BuildSummary::default();
+        let (mut solve_ns, mut feature_ns) = (0u64, 0u64);
         for slot in rows {
             // Every slot is filled: the single-thread loop writes each one,
             // and a panicking worker re-raises above before we get here.
@@ -545,6 +619,8 @@ impl<'a> DatasetBuilder<'a> {
             summary.resample_draws += stats.resamples;
             summary.solver_recoveries += stats.recoveries;
             summary.imputed_readings += stats.imputed;
+            solve_ns += stats.solve_ns;
+            feature_ns += stats.feature_ns;
             x.get_or_insert_with(|| Matrix::with_cols(features.len()))
                 .push_row(&features);
             scenarios.push(scenario);
@@ -563,6 +639,42 @@ impl<'a> DatasetBuilder<'a> {
                     .collect()
             })
             .collect();
+
+        if tel.enabled() {
+            tel.add("sensing.build.samples", n_samples as u64);
+            tel.add(
+                "sensing.build.resampled_slots",
+                summary.resampled_slots as u64,
+            );
+            tel.add(
+                "sensing.build.resample_draws",
+                summary.resample_draws as u64,
+            );
+            tel.add(
+                "sensing.build.solver_recoveries",
+                summary.solver_recoveries as u64,
+            );
+            tel.add(
+                "sensing.build.imputed_readings",
+                summary.imputed_readings as u64,
+            );
+            // Solve and feature-extraction time interleave across worker
+            // threads, so they can't be live spans; synthesize back-to-back
+            // children from the accumulated totals so the span tree still
+            // shows where the build's time went.
+            tel.record_span("sensing.solve", build_start, build_start + solve_ns);
+            tel.record_span(
+                "sensing.features",
+                build_start + solve_ns,
+                build_start + solve_ns + feature_ns,
+            );
+            if let Some(end) = tel.now_ns() {
+                let wall_s = end.saturating_sub(build_start) as f64 / 1e9;
+                if wall_s > 0.0 {
+                    tel.gauge("sensing.build.scenarios_per_s", n_samples as f64 / wall_s);
+                }
+            }
+        }
 
         Ok(LeakDataset {
             x,
@@ -770,6 +882,41 @@ mod tests {
             .build(8, 3, 1)
             .unwrap();
         assert!(ds.summary.is_pristine(), "summary {:?}", ds.summary);
+    }
+
+    #[test]
+    fn telemetry_registry_mirrors_build_summary() {
+        let net = synth::epa_net();
+        let hub = aqua_telemetry::TelemetryHub::new();
+        let builder = DatasetBuilder::new(&net, SensorSet::full(&net))
+            .ec_range(0.02, 0.25)
+            .recovery(false)
+            .telemetry(hub.ctx());
+        let ds = builder.build(24, 2, 2).unwrap();
+        assert!(
+            ds.summary.resampled_slots > 0,
+            "seed calibrated to resample"
+        );
+
+        // BuildSummary is a thin view over the sensing.build.* counters.
+        let snap = hub.metrics_snapshot();
+        assert_eq!(BuildSummary::from_snapshot(&snap), ds.summary);
+        assert_eq!(snap.counter("sensing.build.samples"), 24);
+        let h = snap.histogram("sensing.build.sample_s").unwrap();
+        assert_eq!(h.count, 24);
+
+        // One event per corpus slot, flushed in slot order.
+        let events = hub.drain_events();
+        assert_eq!(events.len(), 24);
+        assert!(events.iter().enumerate().all(|(i, e)| e.ord == i as u64));
+
+        // The span tree shows the baseline EPS and the aggregate
+        // solve/feature stages under the build.
+        let tree = hub.span_tree();
+        let build = tree.iter().find(|s| s.name == "sensing.build").unwrap();
+        assert!(build.find("sensing.baseline").is_some());
+        assert!(build.find("sensing.solve").is_some());
+        assert!(build.find("sensing.features").is_some());
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Structured event streams with deterministic JSONL flush.
+//!
+//! Events are the hub's high-cardinality channel: one record per corpus
+//! sample, per recovery, per quarantine transition. Workers push into
+//! per-thread shard buffers (no cross-thread contention on the hot path
+//! beyond the shard lock), and [`EventSink::drain_sorted`] merges the
+//! shards with a stable sort on the caller-supplied ordinal. Because each
+//! ordinal is produced by exactly one worker (the `DatasetBuilder`
+//! contract: sample `i` is processed by one thread), the flushed stream is
+//! **byte-identical for any thread count** — tested at {1, 2, 8} threads in
+//! `crates/sensing/tests/telemetry_stream.rs`.
+//!
+//! Events deliberately carry no timestamps: anything time-like belongs in
+//! spans or histograms, keeping the JSONL stream reproducible.
+
+use std::cell::Cell;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::json;
+
+/// A field value on an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (emitted with shortest-round-trip formatting).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Deterministic sort key (e.g. the corpus sample index). Events
+    /// sharing an ordinal must be emitted by a single thread, in a
+    /// deterministic order, for the flushed stream to be reproducible.
+    pub ord: u64,
+    /// Event name (dotted, `crate.subsystem.what`).
+    pub name: String,
+    /// Fields in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// One JSONL line: `{"ord": …, "event": "…", field: value, …}`.
+    pub fn to_json_line(&self) -> String {
+        let mut s = format!("{{\"ord\": {}, \"event\": ", self.ord);
+        json::push_str_lit(&mut s, &self.name);
+        for (k, v) in &self.fields {
+            s.push_str(", ");
+            json::push_str_lit(&mut s, k);
+            s.push_str(": ");
+            match v {
+                Value::U64(x) => s.push_str(&x.to_string()),
+                Value::I64(x) => s.push_str(&x.to_string()),
+                Value::F64(x) => json::push_f64(&mut s, *x),
+                Value::Str(x) => json::push_str_lit(&mut s, x),
+                Value::Bool(x) => s.push_str(if *x { "true" } else { "false" }),
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Number of shard buffers. More shards than typical worker counts, so
+/// concurrent builders rarely share a lock.
+const SHARDS: usize = 16;
+
+static NEXT_THREAD_ORD: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    /// Each OS thread gets a stable shard assignment on first use.
+    static THREAD_SHARD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn my_shard() -> usize {
+    THREAD_SHARD.with(|c| {
+        if let Some(s) = c.get() {
+            return s;
+        }
+        let s = NEXT_THREAD_ORD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        c.set(Some(s));
+        s
+    })
+}
+
+/// Sharded per-thread event buffers with deterministic drain.
+#[derive(Debug, Default)]
+pub(crate) struct EventSink {
+    shards: [Mutex<Vec<Event>>; SHARDS],
+}
+
+impl EventSink {
+    pub fn push(&self, event: Event) {
+        self.shards[my_shard()]
+            .lock()
+            .expect("event shard poisoned")
+            .push(event);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("event shard poisoned").len())
+            .sum()
+    }
+
+    /// Removes and returns all events, stably sorted by ordinal. Events
+    /// with equal ordinals keep their per-thread emission order (they all
+    /// live in one shard by the single-writer-per-ordinal contract).
+    pub fn drain_sorted(&self) -> Vec<Event> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.append(&mut *shard.lock().expect("event shard poisoned"));
+        }
+        all.sort_by_key(|e| e.ord);
+        all
+    }
+
+    /// Drains (sorted) and writes one JSON line per event.
+    pub fn write_jsonl(&self, out: &mut dyn Write) -> io::Result<()> {
+        for event in self.drain_sorted() {
+            writeln!(out, "{}", event.to_json_line())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ord: u64, name: &str) -> Event {
+        Event {
+            ord,
+            name: name.into(),
+            fields: vec![("k".into(), Value::U64(ord))],
+        }
+    }
+
+    #[test]
+    fn drain_sorts_by_ordinal_stably() {
+        let sink = EventSink::default();
+        sink.push(ev(3, "c"));
+        sink.push(ev(1, "a"));
+        sink.push(ev(1, "b"));
+        sink.push(ev(0, "z"));
+        let drained = sink.drain_sorted();
+        let names: Vec<&str> = drained.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["z", "a", "b", "c"]);
+        assert_eq!(sink.len(), 0, "drain empties the sink");
+    }
+
+    #[test]
+    fn jsonl_lines_are_deterministic() {
+        let e = Event {
+            ord: 7,
+            name: "sample".into(),
+            fields: vec![
+                ("resamples".into(), Value::U64(1)),
+                ("score".into(), Value::F64(0.5)),
+                ("tag".into(), Value::Str("a\"b".into())),
+                ("ok".into(), Value::Bool(true)),
+                ("delta".into(), Value::I64(-3)),
+            ],
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"ord\": 7, \"event\": \"sample\", \"resamples\": 1, \"score\": 0.5, \
+             \"tag\": \"a\\\"b\", \"ok\": true, \"delta\": -3}"
+        );
+    }
+
+    #[test]
+    fn concurrent_pushes_from_many_threads_all_arrive() {
+        let sink = EventSink::default();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let sink = &sink;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        sink.push(ev(t * 100 + i, "e"));
+                    }
+                });
+            }
+        });
+        let drained = sink.drain_sorted();
+        assert_eq!(drained.len(), 400);
+        assert!(drained.windows(2).all(|w| w[0].ord <= w[1].ord));
+    }
+}

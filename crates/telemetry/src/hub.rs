@@ -1,0 +1,431 @@
+//! The [`TelemetryHub`] registry and the [`TelemetryCtx`] handle threaded
+//! through the pipeline.
+
+use std::collections::btree_map::Entry;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::event::{Event, EventSink, Value};
+use crate::metrics::{Histogram, Metric, MetricsSnapshot};
+use crate::span::{SpanArena, SpanId, SpanSnapshot};
+
+/// Central telemetry registry: spans, metrics and events for one run.
+///
+/// The hub is `Sync`; worker threads share it by reference (via
+/// [`TelemetryCtx`]) and all state merges deterministically:
+/// counters/histograms are order-independent sums, events are sorted on
+/// flush, spans carry explicit parents. Construct one per pipeline run,
+/// then snapshot/flush at the end.
+pub struct TelemetryHub {
+    clock: Arc<dyn Clock>,
+    metrics: Mutex<MetricsSnapshot>,
+    spans: Mutex<SpanArena>,
+    events: EventSink,
+}
+
+impl std::fmt::Debug for TelemetryHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryHub")
+            .field("events", &self.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for TelemetryHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryHub {
+    /// A hub on the production monotonic clock.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A hub on an injected clock (tests pass an
+    /// [`Arc<ManualClock>`](crate::ManualClock) and keep a handle to drive
+    /// it).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        TelemetryHub {
+            clock,
+            metrics: Mutex::new(MetricsSnapshot::default()),
+            spans: Mutex::new(SpanArena::default()),
+            events: EventSink::default(),
+        }
+    }
+
+    /// The root context for instrumented code.
+    pub fn ctx(&self) -> TelemetryCtx<'_> {
+        TelemetryCtx {
+            hub: Some(self),
+            parent: None,
+        }
+    }
+
+    /// Current hub-clock time, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    // ---- metrics -------------------------------------------------------
+
+    fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsSnapshot) -> R) -> R {
+        f(&mut self.metrics.lock().expect("metrics lock poisoned"))
+    }
+
+    /// Adds `n` to counter `name` (saturating; created on first use).
+    pub fn add(&self, name: &str, n: u64) {
+        self.with_metrics(|m| match m.metrics.entry(name.to_string()) {
+            Entry::Occupied(mut e) => {
+                if let Metric::Counter(v) = e.get_mut() {
+                    *v = v.saturating_add(n);
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(Metric::Counter(n));
+            }
+        });
+    }
+
+    /// Sets gauge `name` to `v` (created on first use).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.with_metrics(|m| {
+            m.metrics.insert(name.to_string(), Metric::Gauge(v));
+        });
+    }
+
+    /// Folds `v` into histogram `name` (created on first use).
+    pub fn observe(&self, name: &str, v: f64) {
+        self.observe_many(name, std::slice::from_ref(&v));
+    }
+
+    /// Folds a batch of observations into histogram `name` under one lock
+    /// acquisition (the hot-path form: collect locally, flush once).
+    pub fn observe_many(&self, name: &str, vals: &[f64]) {
+        if vals.is_empty() {
+            return;
+        }
+        self.with_metrics(|m| {
+            let h = match m
+                .metrics
+                .entry(name.to_string())
+                .or_insert_with(|| Metric::Histogram(Histogram::new()))
+            {
+                Metric::Histogram(h) => h,
+                _ => return, // kind conflict: drop the observation
+            };
+            for &v in vals {
+                h.observe(v);
+            }
+        });
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.with_metrics(|m| m.clone())
+    }
+
+    // ---- spans ---------------------------------------------------------
+
+    /// Starts a span now. Prefer [`TelemetryCtx::span`] (RAII) in
+    /// instrumented code.
+    pub fn start_span(&self, name: &str, parent: Option<SpanId>) -> SpanId {
+        let now = self.now_ns();
+        self.spans
+            .lock()
+            .expect("span lock poisoned")
+            .start(name, parent, now)
+    }
+
+    /// Ends a span now (idempotent).
+    pub fn end_span(&self, id: SpanId) {
+        let now = self.now_ns();
+        self.spans.lock().expect("span lock poisoned").end(id, now);
+    }
+
+    /// Inserts a *synthetic* span with explicit bounds — used for
+    /// aggregate stages whose time is accumulated across worker threads
+    /// (e.g. total solve time inside a corpus build) rather than measured
+    /// as one live interval.
+    pub fn record_span(
+        &self,
+        name: &str,
+        parent: Option<SpanId>,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanId {
+        let mut spans = self.spans.lock().expect("span lock poisoned");
+        let id = spans.start(name, parent, start_ns);
+        spans.end(id, end_ns.max(start_ns));
+        id
+    }
+
+    /// The span forest (roots in start order); open spans are clamped to
+    /// "now".
+    pub fn span_tree(&self) -> Vec<SpanSnapshot> {
+        let now = self.now_ns();
+        SpanSnapshot::forest(&self.spans.lock().expect("span lock poisoned"), now)
+    }
+
+    // ---- events --------------------------------------------------------
+
+    /// Emits a structured event (see [`crate::Event`] for the ordinal
+    /// contract).
+    pub fn emit(&self, ord: u64, name: &str, fields: &[(&str, Value)]) {
+        self.events.push(Event {
+            ord,
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Buffered (un-flushed) event count.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Drains all events, deterministically sorted.
+    pub fn drain_events(&self) -> Vec<Event> {
+        self.events.drain_sorted()
+    }
+
+    /// Drains all events and writes them as JSONL.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn write_events_jsonl(&self, out: &mut dyn Write) -> io::Result<()> {
+        self.events.write_jsonl(out)
+    }
+}
+
+/// A cheap, copyable handle to an optional hub plus a parent span.
+///
+/// This is the type threaded through the stack: every instrumented function
+/// takes (or stores) a `TelemetryCtx` and the disabled default
+/// ([`TelemetryCtx::none`]) reduces each call to one `Option` check — the
+/// uninstrumented hot path stays the uninstrumented hot path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TelemetryCtx<'a> {
+    hub: Option<&'a TelemetryHub>,
+    parent: Option<SpanId>,
+}
+
+impl<'a> TelemetryCtx<'a> {
+    /// The disabled context: every operation is a no-op.
+    pub const fn none() -> Self {
+        TelemetryCtx {
+            hub: None,
+            parent: None,
+        }
+    }
+
+    /// `true` when a hub is attached.
+    pub fn enabled(&self) -> bool {
+        self.hub.is_some()
+    }
+
+    /// The attached hub, if any.
+    pub fn hub(&self) -> Option<&'a TelemetryHub> {
+        self.hub
+    }
+
+    /// Current hub-clock time (ns), if enabled.
+    pub fn now_ns(&self) -> Option<u64> {
+        self.hub.map(TelemetryHub::now_ns)
+    }
+
+    /// Opens a child span; the returned guard ends it on drop and hands
+    /// out child contexts via [`SpanGuard::ctx`].
+    pub fn span(&self, name: &str) -> SpanGuard<'a> {
+        SpanGuard {
+            hub: self.hub,
+            id: self.hub.map(|h| h.start_span(name, self.parent)),
+        }
+    }
+
+    /// Inserts a synthetic span under this context's parent (see
+    /// [`TelemetryHub::record_span`]).
+    pub fn record_span(&self, name: &str, start_ns: u64, end_ns: u64) {
+        if let Some(hub) = self.hub {
+            hub.record_span(name, self.parent, start_ns, end_ns);
+        }
+    }
+
+    /// Starts a timer that observes its elapsed seconds into histogram
+    /// `name` on drop.
+    pub fn timer(&self, name: &'static str) -> TimerGuard<'a> {
+        TimerGuard {
+            hub: self.hub,
+            name,
+            start_ns: self.hub.map_or(0, TelemetryHub::now_ns),
+        }
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(hub) = self.hub {
+            hub.add(name, n);
+        }
+    }
+
+    /// Sets gauge `name`.
+    pub fn gauge(&self, name: &str, v: f64) {
+        if let Some(hub) = self.hub {
+            hub.gauge_set(name, v);
+        }
+    }
+
+    /// Observes `v` into histogram `name`.
+    pub fn observe(&self, name: &str, v: f64) {
+        if let Some(hub) = self.hub {
+            hub.observe(name, v);
+        }
+    }
+
+    /// Observes a batch into histogram `name` (one lock).
+    pub fn observe_many(&self, name: &str, vals: &[f64]) {
+        if let Some(hub) = self.hub {
+            hub.observe_many(name, vals);
+        }
+    }
+
+    /// Emits a structured event.
+    pub fn emit(&self, ord: u64, name: &str, fields: &[(&str, Value)]) {
+        if let Some(hub) = self.hub {
+            hub.emit(ord, name, fields);
+        }
+    }
+}
+
+/// RAII span handle: ends the span when dropped.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    hub: Option<&'a TelemetryHub>,
+    id: Option<SpanId>,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// A context parented under this span, for instrumenting callees.
+    pub fn ctx(&self) -> TelemetryCtx<'a> {
+        TelemetryCtx {
+            hub: self.hub,
+            parent: self.id,
+        }
+    }
+
+    /// Ends the span now (optional; drop does the same).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(hub), Some(id)) = (self.hub, self.id) {
+            hub.end_span(id);
+        }
+    }
+}
+
+/// RAII timer: observes elapsed seconds into a histogram on drop.
+#[derive(Debug)]
+pub struct TimerGuard<'a> {
+    hub: Option<&'a TelemetryHub>,
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(hub) = self.hub {
+            let elapsed = hub.now_ns().saturating_sub(self.start_ns);
+            hub.observe(self.name, elapsed as f64 / 1e9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn disabled_ctx_is_inert() {
+        let ctx = TelemetryCtx::none();
+        assert!(!ctx.enabled());
+        let span = ctx.span("nothing");
+        span.ctx().add("c", 1);
+        ctx.observe("h", 1.0);
+        ctx.emit(0, "e", &[]);
+        drop(ctx.timer("t"));
+        // No hub, nothing to assert beyond "does not panic".
+    }
+
+    #[test]
+    fn spans_nest_through_contexts() {
+        let clock = Arc::new(ManualClock::new());
+        let hub = TelemetryHub::with_clock(clock.clone());
+        {
+            let phase = hub.ctx().span("phase1");
+            clock.advance(100);
+            {
+                let inner = phase.ctx().span("train");
+                clock.advance(50);
+                drop(inner);
+            }
+            clock.advance(10);
+        }
+        let tree = hub.span_tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].name, "phase1");
+        assert_eq!(tree[0].duration_ns, 160);
+        assert_eq!(tree[0].children[0].name, "train");
+        assert_eq!(tree[0].children[0].duration_ns, 50);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let hub = TelemetryHub::new();
+        hub.add("c", u64::MAX - 1);
+        hub.add("c", 5);
+        assert_eq!(hub.metrics_snapshot().counter("c"), u64::MAX);
+    }
+
+    #[test]
+    fn timer_observes_manual_clock_delta() {
+        let clock = Arc::new(ManualClock::new());
+        let hub = TelemetryHub::with_clock(clock.clone());
+        {
+            let _t = hub.ctx().timer("stage_s");
+            clock.advance(2_500_000_000);
+        }
+        let snap = hub.metrics_snapshot();
+        let h = snap.histogram("stage_s").unwrap();
+        assert_eq!(h.count, 1);
+        assert!((h.sum - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let hub = TelemetryHub::new();
+        hub.gauge_set("g", 1.0);
+        hub.gauge_set("g", 4.0);
+        assert_eq!(hub.metrics_snapshot().gauge("g"), Some(4.0));
+    }
+
+    #[test]
+    fn synthetic_spans_join_the_tree() {
+        let clock = Arc::new(ManualClock::new());
+        let hub = TelemetryHub::with_clock(clock);
+        let root = hub.ctx().span("build");
+        root.ctx().record_span("solve", 10, 60);
+        drop(root);
+        let tree = hub.span_tree();
+        let solve = tree[0].find("solve").unwrap();
+        assert_eq!(solve.duration_ns, 50);
+    }
+}

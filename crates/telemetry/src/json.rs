@@ -1,0 +1,63 @@
+//! Minimal deterministic JSON emission.
+//!
+//! The build container is offline (no serde_json), so the hub hand-rolls
+//! the small JSON subset it needs. Two properties matter more than
+//! generality: the output must be *deterministic* (same inputs → same
+//! bytes, regardless of thread count or platform) and floats must
+//! round-trip. Rust's shortest-round-trip `{}` formatting of `f64` gives
+//! both; map-like structures are emitted in explicit caller-chosen order.
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON number. Non-finite values (not representable
+/// in JSON) are emitted as `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_is_null() {
+        let mut s = String::new();
+        push_f64(&mut s, 0.1);
+        assert_eq!(s, "0.1");
+        let parsed: f64 = s.parse().unwrap();
+        assert_eq!(parsed, 0.1);
+        s.clear();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+}

@@ -1,0 +1,366 @@
+//! Counters, gauges and log-bucketed histograms.
+//!
+//! All three live in one registry keyed by dotted names following the
+//! `crate.subsystem.name` convention (DESIGN.md §8). Histograms use a fixed
+//! geometric bucket layout so instances from different threads (or
+//! different runs) merge exactly: bucket counts, totals, min and max are
+//! all order-independent, which is what makes the merge associative and
+//! commutative (property-tested in `tests/determinism.rs`).
+
+use std::collections::BTreeMap;
+
+use crate::json;
+
+/// Number of geometric buckets in every [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 64;
+/// Lower bound of bucket 0; observations below it land in bucket 0.
+pub const HISTOGRAM_MIN: f64 = 1e-9;
+/// Upper bound of the last bucket; observations above it land in the last
+/// bucket. The layout spans 18 decades in 64 buckets (ratio ≈ 1.91 per
+/// bucket), wide enough for nanoseconds-to-hours timings and for the
+/// dimensionless residuals/iteration counts the pipeline records.
+pub const HISTOGRAM_MAX: f64 = 1e9;
+
+/// Decades spanned by the bucket layout.
+const DECADES: f64 = 18.0;
+
+/// A fixed-layout log-bucketed histogram.
+///
+/// Non-positive and non-finite observations are tallied in `invalid` and
+/// excluded from the buckets and moment statistics, so a stray NaN can
+/// never poison a merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Valid (finite, positive) observations.
+    pub count: u64,
+    /// Sum of valid observations.
+    pub sum: f64,
+    /// Smallest valid observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest valid observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+    /// Non-positive or non-finite observations, counted but not bucketed.
+    pub invalid: u64,
+    /// Geometric bucket counts (see [`Histogram::bucket_bounds`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            invalid: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index `v` falls into.
+    pub fn bucket_of(v: f64) -> usize {
+        if v <= HISTOGRAM_MIN {
+            return 0;
+        }
+        if v >= HISTOGRAM_MAX {
+            return HISTOGRAM_BUCKETS - 1;
+        }
+        let idx = ((v / HISTOGRAM_MIN).log10() * (HISTOGRAM_BUCKETS as f64) / DECADES) as usize;
+        idx.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// `[lower, upper)` value bounds of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        let step = DECADES / HISTOGRAM_BUCKETS as f64;
+        let lo = HISTOGRAM_MIN * 10f64.powf(step * i as f64);
+        let hi = HISTOGRAM_MIN * 10f64.powf(step * (i + 1) as f64);
+        (lo, hi)
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() || v <= 0.0 {
+            self.invalid = self.invalid.saturating_add(1);
+            return;
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Folds another histogram in. Exact for counts/min/max; the sum is a
+    /// float accumulation (associative only up to rounding).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.invalid = self.invalid.saturating_add(other.invalid);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// Mean of the valid observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Approximate quantile (0..=1) from the bucket layout: the geometric
+    /// midpoint of the bucket containing the q-th observation. Resolution
+    /// is one bucket (≈ ×1.9 in value).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                return Some((lo * hi).sqrt());
+            }
+        }
+        Some(self.max)
+    }
+
+    /// JSON object with the moment stats and the non-empty buckets.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"count\": {}, \"sum\": ", self.count));
+        json::push_f64(&mut s, self.sum);
+        s.push_str(", \"min\": ");
+        json::push_f64(&mut s, if self.count > 0 { self.min } else { 0.0 });
+        s.push_str(", \"max\": ");
+        json::push_f64(&mut s, if self.count > 0 { self.max } else { 0.0 });
+        s.push_str(", \"mean\": ");
+        json::push_f64(&mut s, self.mean().unwrap_or(0.0));
+        s.push_str(", \"p50\": ");
+        json::push_f64(&mut s, self.quantile(0.5).unwrap_or(0.0));
+        s.push_str(", \"p99\": ");
+        json::push_f64(&mut s, self.quantile(0.99).unwrap_or(0.0));
+        s.push_str(&format!(", \"invalid\": {}", self.invalid));
+        s.push_str(", \"buckets\": [");
+        let mut first = true;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            let (lo, hi) = Self::bucket_bounds(i);
+            s.push_str("{\"lo\": ");
+            json::push_f64(&mut s, lo);
+            s.push_str(", \"hi\": ");
+            json::push_f64(&mut s, hi);
+            s.push_str(&format!(", \"n\": {c}}}"));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// One named metric.
+// The histogram variant dominates the enum's size, but a registry holds
+// tens of metrics, not millions — boxing would buy nothing and cost an
+// indirection on every observation.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotone saturating accumulator.
+    Counter(u64),
+    /// Last-written value.
+    Gauge(f64),
+    /// Log-bucketed distribution.
+    Histogram(Histogram),
+}
+
+/// The hub's metric store: dotted name → metric. `BTreeMap` so snapshots
+/// and JSON dumps iterate in a deterministic order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All registered metrics by name.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, or 0 when absent / not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Adds counters, sets gauges, and merges histograms name-by-name.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, m) in &other.metrics {
+            match (self.metrics.get_mut(name), m) {
+                (Some(Metric::Counter(a)), Metric::Counter(b)) => *a = a.saturating_add(*b),
+                (Some(Metric::Gauge(a)), Metric::Gauge(b)) => *a = *b,
+                (Some(Metric::Histogram(a)), Metric::Histogram(b)) => a.merge(b),
+                (Some(_), _) => {} // kind conflict: keep ours
+                (None, m) => {
+                    self.metrics.insert(name.clone(), m.clone());
+                }
+            }
+        }
+    }
+
+    /// JSON object `{name: value-or-histogram, ...}` in name order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let mut first = true;
+        for (name, m) in &self.metrics {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            json::push_str_lit(&mut s, name);
+            s.push_str(": ");
+            match m {
+                Metric::Counter(v) => s.push_str(&v.to_string()),
+                Metric::Gauge(v) => json::push_f64(&mut s, *v),
+                Metric::Histogram(h) => s.push_str(&h.to_json()),
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_covering() {
+        let mut prev = 0.0;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo > prev || i == 0);
+            assert!(hi > lo);
+            prev = lo;
+            // The geometric midpoint maps back to its own bucket.
+            let mid = (lo * hi).sqrt();
+            assert_eq!(Histogram::bucket_of(mid), i, "midpoint of bucket {i}");
+        }
+        assert_eq!(Histogram::bucket_of(1e-12), 0);
+        assert_eq!(Histogram::bucket_of(1e12), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn observe_tracks_moments() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 10.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 4.0);
+        assert_eq!(h.mean(), Some(2.5));
+    }
+
+    #[test]
+    fn invalid_observations_are_segregated() {
+        let mut h = Histogram::new();
+        h.observe(f64::NAN);
+        h.observe(-1.0);
+        h.observe(0.0);
+        h.observe(5.0);
+        assert_eq!(h.invalid, 3);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn merge_equals_pooled_observation() {
+        let vals_a = [0.5, 12.0, 7e-3];
+        let vals_b = [1e4, 0.5, 3.0];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut pooled = Histogram::new();
+        for v in vals_a {
+            a.observe(v);
+            pooled.observe(v);
+        }
+        for v in vals_b {
+            b.observe(v);
+            pooled.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets, pooled.buckets);
+        assert_eq!(a.count, pooled.count);
+        assert_eq!(a.min, pooled.min);
+        assert_eq!(a.max, pooled.max);
+        assert!((a.sum - pooled.sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((200.0..=1200.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= p50);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_all_kinds() {
+        let mut a = MetricsSnapshot::default();
+        a.metrics.insert("c".into(), Metric::Counter(2));
+        a.metrics.insert("g".into(), Metric::Gauge(1.0));
+        let mut b = MetricsSnapshot::default();
+        b.metrics.insert("c".into(), Metric::Counter(3));
+        b.metrics.insert("g".into(), Metric::Gauge(9.0));
+        let mut h = Histogram::new();
+        h.observe(1.0);
+        b.metrics.insert("h".into(), Metric::Histogram(h));
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_name_ordered() {
+        let mut s = MetricsSnapshot::default();
+        s.metrics.insert("b.two".into(), Metric::Counter(1));
+        s.metrics.insert("a.one".into(), Metric::Gauge(0.25));
+        let j = s.to_json();
+        assert!(j.find("a.one").unwrap() < j.find("b.two").unwrap());
+        assert_eq!(j, s.to_json());
+    }
+}

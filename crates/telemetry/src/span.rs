@@ -1,0 +1,177 @@
+//! Hierarchical spans over the hub's injectable clock.
+//!
+//! Spans form a forest: every span records its name, parent, start and end
+//! timestamps (nanoseconds from the hub clock). Live code uses the RAII
+//! guard returned by [`TelemetryCtx::span`](crate::TelemetryCtx::span);
+//! aggregate stages measured elsewhere (e.g. summed per-sample solve time
+//! across worker threads) can be inserted as *synthetic* spans with
+//! explicit bounds via [`TelemetryHub::record_span`](crate::TelemetryHub::record_span).
+
+use crate::json;
+
+/// Opaque handle to a span in the hub's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) usize);
+
+/// Arena entry for one span.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanRec {
+    pub name: String,
+    pub parent: Option<usize>,
+    pub start_ns: u64,
+    /// `None` while the span is still open.
+    pub end_ns: Option<u64>,
+}
+
+/// Flat arena of spans; tree structure lives in the parent pointers.
+#[derive(Debug, Default)]
+pub(crate) struct SpanArena {
+    pub spans: Vec<SpanRec>,
+}
+
+impl SpanArena {
+    pub fn start(&mut self, name: &str, parent: Option<SpanId>, now_ns: u64) -> SpanId {
+        self.spans.push(SpanRec {
+            name: name.to_string(),
+            parent: parent.map(|p| p.0),
+            start_ns: now_ns,
+            end_ns: None,
+        });
+        SpanId(self.spans.len() - 1)
+    }
+
+    pub fn end(&mut self, id: SpanId, now_ns: u64) {
+        if let Some(rec) = self.spans.get_mut(id.0) {
+            // First end wins; double-ends (guard drop after explicit end)
+            // are ignored.
+            if rec.end_ns.is_none() {
+                rec.end_ns = Some(now_ns.max(rec.start_ns));
+            }
+        }
+    }
+}
+
+/// Immutable view of one finished (or still-open) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Span name (dotted, `crate.subsystem.stage`).
+    pub name: String,
+    /// Start, nanoseconds on the hub clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (clamped at snapshot time for open spans).
+    pub duration_ns: u64,
+    /// Child spans in start order.
+    pub children: Vec<SpanSnapshot>,
+}
+
+impl SpanSnapshot {
+    /// Builds the span forest from the arena (roots in start order).
+    pub(crate) fn forest(arena: &SpanArena, now_ns: u64) -> Vec<SpanSnapshot> {
+        // children[i] = indices of spans whose parent is i, in arena
+        // (= start) order.
+        let n = arena.spans.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (i, rec) in arena.spans.iter().enumerate() {
+            match rec.parent {
+                Some(p) if p < n => children[p].push(i),
+                _ => roots.push(i),
+            }
+        }
+        fn build(
+            i: usize,
+            arena: &SpanArena,
+            children: &[Vec<usize>],
+            now_ns: u64,
+        ) -> SpanSnapshot {
+            let rec = &arena.spans[i];
+            SpanSnapshot {
+                name: rec.name.clone(),
+                start_ns: rec.start_ns,
+                duration_ns: rec.end_ns.unwrap_or(now_ns).saturating_sub(rec.start_ns),
+                children: children[i]
+                    .iter()
+                    .map(|&c| build(c, arena, children, now_ns))
+                    .collect(),
+            }
+        }
+        roots
+            .into_iter()
+            .map(|r| build(r, arena, &children, now_ns))
+            .collect()
+    }
+
+    /// Depth-first search for a span by name (self included).
+    pub fn find(&self, name: &str) -> Option<&SpanSnapshot> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Total wall-clock seconds of this span.
+    pub fn seconds(&self) -> f64 {
+        self.duration_ns as f64 / 1e9
+    }
+
+    /// JSON object `{name, start_ns, dur_ns, children: [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"name\": ");
+        json::push_str_lit(&mut s, &self.name);
+        s.push_str(&format!(
+            ", \"start_ns\": {}, \"dur_ns\": {}, \"children\": [",
+            self.start_ns, self.duration_ns
+        ));
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&c.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_reconstructs_hierarchy_and_durations() {
+        let mut arena = SpanArena::default();
+        let root = arena.start("root", None, 0);
+        let a = arena.start("a", Some(root), 10);
+        arena.end(a, 40);
+        let b = arena.start("b", Some(root), 50);
+        arena.end(b, 90);
+        arena.end(root, 100);
+        let forest = SpanSnapshot::forest(&arena, 1_000);
+        assert_eq!(forest.len(), 1);
+        let r = &forest[0];
+        assert_eq!(r.name, "root");
+        assert_eq!(r.duration_ns, 100);
+        assert_eq!(r.children.len(), 2);
+        assert_eq!(r.children[0].name, "a");
+        assert_eq!(r.children[0].duration_ns, 30);
+        assert_eq!(r.find("b").unwrap().duration_ns, 40);
+        assert!(r.find("missing").is_none());
+    }
+
+    #[test]
+    fn open_spans_clamp_to_snapshot_time() {
+        let mut arena = SpanArena::default();
+        arena.start("open", None, 100);
+        let forest = SpanSnapshot::forest(&arena, 250);
+        assert_eq!(forest[0].duration_ns, 150);
+    }
+
+    #[test]
+    fn double_end_is_ignored() {
+        let mut arena = SpanArena::default();
+        let s = arena.start("s", None, 0);
+        arena.end(s, 10);
+        arena.end(s, 99);
+        assert_eq!(SpanSnapshot::forest(&arena, 100)[0].duration_ns, 10);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the merge algebra the hub's determinism rests on
+//! (DESIGN.md §8): histogram merge must be commutative and associative, so
+//! per-thread snapshots fold into the same registry regardless of worker
+//! count or join order.
+//!
+//! Exactness caveat: `sum` is a float accumulation, so the properties hold
+//! exactly on counts, buckets, min and max, and up to rounding on `sum`.
+
+use aqua_telemetry::{Histogram, Metric, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// Observation values spanning the full bucket layout (both overflow ends
+/// included) plus the invalid classes (non-positive, non-finite), roughly
+/// 2:1 valid-to-invalid.
+fn observation() -> impl Strategy<Value = f64> {
+    (0u8..12, -12.0..12.0f64).prop_map(|(kind, e)| match kind {
+        8 => 0.0,
+        9 => -(10f64.powf(e)),
+        10 => f64::NAN,
+        11 => f64::INFINITY,
+        _ => 10f64.powf(e),
+    })
+}
+
+fn histogram() -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(observation(), 0..64).prop_map(|vals| {
+        let mut h = Histogram::new();
+        for v in vals {
+            h.observe(v);
+        }
+        h
+    })
+}
+
+/// Equality on the exact fields; `sum` compared with a rounding allowance.
+fn assert_hist_eq(a: &Histogram, b: &Histogram, what: &str) {
+    assert_eq!(a.count, b.count, "{what}: count");
+    assert_eq!(a.invalid, b.invalid, "{what}: invalid");
+    assert_eq!(a.buckets, b.buckets, "{what}: buckets");
+    // min/max are exact: both sides saw the same value set.
+    assert_eq!(a.min.to_bits(), b.min.to_bits(), "{what}: min");
+    assert_eq!(a.max.to_bits(), b.max.to_bits(), "{what}: max");
+    let scale = a.sum.abs().max(b.sum.abs()).max(1.0);
+    assert!(
+        (a.sum - b.sum).abs() <= 1e-9 * scale,
+        "{what}: sum {} vs {}",
+        a.sum,
+        b.sum
+    );
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(a in histogram(), b in histogram()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_hist_eq(&ab, &ba, "a+b vs b+a");
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in histogram(),
+        b in histogram(),
+        c in histogram(),
+    ) {
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_hist_eq(&left, &right, "(a+b)+c vs a+(b+c)");
+    }
+
+    #[test]
+    fn histogram_merge_equals_pooled_observation(
+        xs in prop::collection::vec(observation(), 0..48),
+        ys in prop::collection::vec(observation(), 0..48),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut pooled = Histogram::new();
+        for &v in &xs {
+            a.observe(v);
+            pooled.observe(v);
+        }
+        for &v in &ys {
+            b.observe(v);
+            pooled.observe(v);
+        }
+        a.merge(&b);
+        assert_hist_eq(&a, &pooled, "merged vs pooled");
+    }
+
+    #[test]
+    fn snapshot_merge_of_counters_and_histograms_is_commutative(
+        ca in 0..u64::MAX / 2,
+        cb in 0..u64::MAX / 2,
+        ha in histogram(),
+        hb in histogram(),
+    ) {
+        let mut a = MetricsSnapshot::default();
+        a.metrics.insert("n.count".into(), Metric::Counter(ca));
+        a.metrics.insert("n.hist".into(), Metric::Histogram(ha));
+        let mut b = MetricsSnapshot::default();
+        b.metrics.insert("n.count".into(), Metric::Counter(cb));
+        b.metrics.insert("n.hist".into(), Metric::Histogram(hb));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counter("n.count"), ba.counter("n.count"));
+        assert_hist_eq(
+            ab.histogram("n.hist").unwrap(),
+            ba.histogram("n.hist").unwrap(),
+            "snapshot a+b vs b+a",
+        );
+    }
+}

@@ -11,3 +11,4 @@ pub use aqua_hydraulics as hydraulics;
 pub use aqua_ml as ml;
 pub use aqua_net as net;
 pub use aqua_sensing as sensing;
+pub use aqua_telemetry as telemetry;
