@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), the artifact trailer
+//! checksum.
+//!
+//! CRC-32 has Hamming distance ≥ 2 over any message length, so *every*
+//! single-byte (indeed single-bit) corruption of a container is guaranteed
+//! to change the checksum — the property the artifact integrity tests pin.
+
+/// Reflected-polynomial lookup table, built at compile time.
+const TABLE: [u32; 256] = make_table();
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let msg: Vec<u8> = (0..=255u8).collect();
+        let base = crc32(&msg);
+        for i in 0..msg.len() {
+            for bit in 0..8 {
+                let mut corrupt = msg.clone();
+                corrupt[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

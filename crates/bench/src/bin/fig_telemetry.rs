@@ -15,8 +15,9 @@
 //!    per sample.
 //!
 //! Emits `BENCH_telemetry.json` (envelope + span tree + the full metrics
-//! registry) and `BENCH_telemetry_events.jsonl` (the deterministic
-//! structured event stream, byte-identical for any builder thread count).
+//! registry) and `bench_output/BENCH_telemetry_events.jsonl` (the
+//! deterministic structured event stream, byte-identical for any builder
+//! thread count).
 //!
 //! Run with: `cargo run --release -p aqua-bench --bin fig_telemetry`
 //! (`AQUA_SMOKE=1` for the CI smoke scale, `AQUA_PAPER_SCALE=1` for the
@@ -24,7 +25,7 @@
 
 use std::time::Instant;
 
-use aqua_bench::{f3, print_table, run_scale, write_bench_json};
+use aqua_bench::{aux_artifact_path, f3, print_table, run_scale, write_bench_json};
 use aqua_core::{AquaScale, AquaScaleConfig, MonitoringSession};
 use aqua_hydraulics::{LeakEvent, Scenario, SolverOptions};
 use aqua_ml::ModelKind;
@@ -126,8 +127,9 @@ fn main() {
     assert!(registry.counter("hydraulics.solver.solves") > 0);
     assert_eq!(registry.counter("core.monitor.slots"), WINDOW_SLOTS + 1);
 
-    let mut events = std::fs::File::create("BENCH_telemetry_events.jsonl")
-        .expect("create BENCH_telemetry_events.jsonl");
+    let events_path = aux_artifact_path("BENCH_telemetry_events.jsonl");
+    let mut events = std::fs::File::create(&events_path)
+        .unwrap_or_else(|e| panic!("create {}: {e}", events_path.display()));
     hub.write_events_jsonl(&mut events)
         .expect("write BENCH_telemetry_events.jsonl");
 
@@ -177,7 +179,8 @@ fn main() {
         &metrics,
     );
     println!(
-        "wrote BENCH_telemetry.json + BENCH_telemetry_events.jsonl ({} events)",
+        "wrote BENCH_telemetry.json + {} ({} events)",
+        events_path.display(),
         samples
     );
     assert!(

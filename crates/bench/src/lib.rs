@@ -97,6 +97,21 @@ pub fn write_bench_json(file: &str, bench: &str, wall_clock_s: f64, metrics: &st
         .unwrap_or_else(|e| panic!("write {file}: {e}"));
 }
 
+/// Resolves the path for an auxiliary bench artifact (traces, event
+/// streams, per-run logs — anything that is not the top-level
+/// `BENCH_*.json` envelope), creating `bench_output/` on first use. Keeps
+/// the repo root reserved for the enveloped JSON summaries.
+///
+/// # Panics
+///
+/// Panics when `bench_output/` cannot be created (benches want loud
+/// failures).
+pub fn aux_artifact_path(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("bench_output");
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    dir.join(name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +145,15 @@ mod tests {
     #[test]
     fn commit_hash_is_never_empty() {
         assert!(!commit_hash().is_empty());
+    }
+
+    #[test]
+    fn aux_artifacts_land_under_bench_output() {
+        let path = aux_artifact_path("unit_test_probe.txt");
+        assert_eq!(
+            path,
+            std::path::Path::new("bench_output/unit_test_probe.txt")
+        );
+        assert!(path.parent().unwrap().is_dir());
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use aqua_artifact::ArtifactError;
 use aqua_hydraulics::HydraulicError;
 use aqua_ml::MlError;
 use aqua_sensing::SensingError;
@@ -21,6 +22,16 @@ pub enum AquaError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// Model artifact encoding/decoding failure.
+    Artifact(ArtifactError),
+    /// Artifact file I/O failure (message form; `std::io::Error` is neither
+    /// `Clone` nor `PartialEq`).
+    Io {
+        /// The failing path.
+        path: String,
+        /// The I/O error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for AquaError {
@@ -30,6 +41,8 @@ impl fmt::Display for AquaError {
             AquaError::Sensing(e) => write!(f, "sensing: {e}"),
             AquaError::Ml(e) => write!(f, "ml: {e}"),
             AquaError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            AquaError::Artifact(e) => write!(f, "artifact: {e}"),
+            AquaError::Io { path, message } => write!(f, "io: {path}: {message}"),
         }
     }
 }
@@ -41,7 +54,15 @@ impl std::error::Error for AquaError {
             AquaError::Sensing(e) => Some(e),
             AquaError::Ml(e) => Some(e),
             AquaError::InvalidConfig { .. } => None,
+            AquaError::Artifact(e) => Some(e),
+            AquaError::Io { .. } => None,
         }
+    }
+}
+
+impl From<ArtifactError> for AquaError {
+    fn from(e: ArtifactError) -> Self {
+        AquaError::Artifact(e)
     }
 }
 

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod baseline;
 mod error;
 pub mod experiment;
@@ -45,9 +46,12 @@ pub mod impact;
 pub mod isolation;
 pub mod monitor;
 mod pipeline;
+pub mod registry;
 pub mod scenario;
 
+pub use artifact::ProfileArtifact;
 pub use error::AquaError;
 pub use health::{HealthPolicy, SensorHealth, SensorStatus};
-pub use monitor::{Detection, MonitoringSession};
+pub use monitor::{Detection, MonitoringSession, SessionState};
 pub use pipeline::{AquaScale, AquaScaleConfig, ExternalObservations, Inference, ProfileModel};
+pub use registry::{HostedSession, SessionRegistry};

@@ -15,7 +15,15 @@
 //! per the [`HealthPolicy`], and inference keeps running on whatever
 //! channels survive — a dead sensor degrades accuracy, it does not stop
 //! detection.
+//!
+//! The session splits into an owned [`SessionState`] (readings history,
+//! RNG, fault injector, health trackers, detections) and the borrowed
+//! deployment (`AquaScale` + `ProfileModel`). [`MonitoringSession`] bundles
+//! the two for in-process streaming; the serving layer keeps a
+//! `SessionState` per hosted network and supplies the deployment per call
+//! ([`SessionState::observe_readings`]).
 
+use std::ops::{Deref, DerefMut};
 use std::time::Duration;
 
 use aqua_hydraulics::{solve_snapshot, Scenario, Snapshot, SolverOptions};
@@ -26,7 +34,7 @@ use rand::SeedableRng;
 
 use crate::error::AquaError;
 use crate::health::{HealthPolicy, SensorHealth};
-use crate::pipeline::{AquaScale, ExternalObservations, ProfileModel};
+use crate::pipeline::{AquaScale, ExternalObservations, Inference, ProfileModel};
 
 /// One detection emitted by the monitoring loop.
 #[derive(Debug, Clone)]
@@ -42,10 +50,13 @@ pub struct Detection {
     pub quarantined: Vec<usize>,
 }
 
-/// A streaming Phase-II session over live readings.
-pub struct MonitoringSession<'a> {
-    aqua: &'a AquaScale<'a>,
-    profile: &'a ProfileModel,
+/// The owned, deployment-independent state of a monitoring session.
+///
+/// Holds everything that evolves slot to slot; the trained deployment
+/// (`AquaScale` + `ProfileModel`) is passed into each call, so the state
+/// can outlive any particular borrow of the network — which is what lets
+/// the serving layer host many concurrent sessions.
+pub struct SessionState {
     /// Per-channel values used last slot (post-imputation), if any slot has
     /// been observed yet.
     prev_used: Option<Vec<Option<f64>>>,
@@ -58,24 +69,10 @@ pub struct MonitoringSession<'a> {
     pub detections: Vec<Detection>,
 }
 
-impl<'a> MonitoringSession<'a> {
-    /// Starts a session against a trained profile (no injected faults).
-    pub fn new(aqua: &'a AquaScale<'a>, profile: &'a ProfileModel, seed: u64) -> Self {
-        Self::with_faults(aqua, profile, seed, FaultModel::none())
-    }
-
-    /// Starts a session whose readings pass through a [`FaultModel`] — the
-    /// degraded-data drill mode used by the robustness bench and tests.
-    pub fn with_faults(
-        aqua: &'a AquaScale<'a>,
-        profile: &'a ProfileModel,
-        seed: u64,
-        faults: FaultModel,
-    ) -> Self {
-        let channels = profile.sensors.len();
-        MonitoringSession {
-            aqua,
-            profile,
+impl SessionState {
+    /// Fresh state for a deployment with `channels` sensor channels.
+    pub fn new(channels: usize, seed: u64, faults: FaultModel) -> SessionState {
+        SessionState {
             prev_used: None,
             rng: StdRng::seed_from_u64(seed),
             injector: FaultInjector::new(faults),
@@ -87,7 +84,7 @@ impl<'a> MonitoringSession<'a> {
     }
 
     /// Replaces the health policy (builder style).
-    pub fn with_policy(mut self, policy: HealthPolicy) -> Self {
+    pub fn with_policy(mut self, policy: HealthPolicy) -> SessionState {
         self.policy = policy;
         self
     }
@@ -115,6 +112,11 @@ impl<'a> MonitoringSession<'a> {
             .collect()
     }
 
+    /// Number of slots ingested so far.
+    pub fn slots_observed(&self) -> u64 {
+        self.slot
+    }
+
     /// Feeds the next slot's hydraulic state. Returns the inference if a
     /// previous reading existed (the features are consecutive-reading
     /// deltas), or `None` on the first slot.
@@ -125,21 +127,66 @@ impl<'a> MonitoringSession<'a> {
     /// quarantined channels contribute a zero delta.
     pub fn observe(
         &mut self,
+        aqua: &AquaScale<'_>,
+        profile: &ProfileModel,
         snapshot: Snapshot,
         external: &ExternalObservations,
-    ) -> Result<Option<crate::pipeline::Inference>, AquaError> {
-        let tel = self.aqua.telemetry();
-        let config = self.aqua.config().features;
-        let n_pressure = self.profile.sensors.pressure_nodes.len();
+    ) -> Result<Option<Inference>, AquaError> {
+        let noise = aqua.config().features.noise;
+        // Noise is drawn for every channel on every slot — even quarantined
+        // ones — so the RNG stream (and with it the whole session) never
+        // depends on the health trajectory.
+        let mut readings: Vec<Option<f64>> = Vec::with_capacity(profile.sensors.len());
+        for &node in &profile.sensors.pressure_nodes {
+            readings.push(Some(noise.pressure(snapshot.pressure(node), &mut self.rng)));
+        }
+        for &link in &profile.sensors.flow_links {
+            readings.push(Some(noise.flow(snapshot.flow(link), &mut self.rng)));
+        }
+        self.observe_readings(aqua, profile, snapshot.time, &readings, external)
+    }
+
+    /// Feeds one slot of already-measured sensor readings (the ingest path
+    /// of the serving layer, where values arrive over the wire instead of
+    /// from a simulated snapshot). `readings` are raw per-channel values in
+    /// feature order — pressure channels first, then flow channels — with
+    /// `None` for channels the client could not read this slot.
+    ///
+    /// Present values still pass through the session's fault injector and
+    /// the per-channel health checks, so drills and quarantine behave
+    /// identically to [`SessionState::observe`]; measurement noise is *not*
+    /// added (the values are measurements already).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidConfig` when `readings` does not have exactly one entry per
+    /// sensor channel.
+    pub fn observe_readings(
+        &mut self,
+        aqua: &AquaScale<'_>,
+        profile: &ProfileModel,
+        time: u64,
+        readings: &[Option<f64>],
+        external: &ExternalObservations,
+    ) -> Result<Option<Inference>, AquaError> {
+        if readings.len() != profile.sensors.len() {
+            return Err(AquaError::InvalidConfig {
+                reason: format!(
+                    "expected {} sensor readings, got {}",
+                    profile.sensors.len(),
+                    readings.len()
+                ),
+            });
+        }
+        let tel = aqua.telemetry();
+        let config = aqua.config().features;
+        let n_pressure = profile.sensors.pressure_nodes.len();
         let slot = self.slot;
         self.slot += 1;
         let quarantined_before = tel
             .enabled()
             .then(|| self.health.iter().filter(|h| h.is_quarantined()).count());
 
-        // Noise is drawn for every channel on every slot — even quarantined
-        // ones — so the RNG stream (and with it the whole session) never
-        // depends on the health trajectory.
         // Stuck detection keys on bit-identical repeats, which only honest
         // *noisy* telemetry never produces — disable it per channel kind
         // when the configured noise is zero.
@@ -153,19 +200,23 @@ impl<'a> MonitoringSession<'a> {
         let p_policy = policy_for(config.noise.pressure_sigma);
         let f_policy = policy_for(config.noise.flow_sigma);
 
-        let mut used: Vec<Option<f64>> = Vec::with_capacity(self.profile.sensors.len());
-        for (ch, &node) in self.profile.sensors.pressure_nodes.iter().enumerate() {
-            let noisy = config
-                .noise
-                .pressure(snapshot.pressure(node), &mut self.rng);
-            let delivered = self.injector.read(ch, slot, noisy).value;
-            used.push(self.health[ch].ingest(delivered, p_policy.pressure_bounds, &p_policy));
-        }
-        for (k, &link) in self.profile.sensors.flow_links.iter().enumerate() {
-            let ch = n_pressure + k;
-            let noisy = config.noise.flow(snapshot.flow(link), &mut self.rng);
-            let delivered = self.injector.read(ch, slot, noisy).value;
-            used.push(self.health[ch].ingest(delivered, f_policy.flow_bounds, &f_policy));
+        let mut used: Vec<Option<f64>> = Vec::with_capacity(readings.len());
+        for (ch, reading) in readings.iter().enumerate() {
+            let delivered = match reading {
+                Some(v) => self.injector.read(ch, slot, *v).value,
+                None => None,
+            };
+            let policy = if ch < n_pressure {
+                &p_policy
+            } else {
+                &f_policy
+            };
+            let bounds = if ch < n_pressure {
+                policy.pressure_bounds
+            } else {
+                policy.flow_bounds
+            };
+            used.push(self.health[ch].ingest(delivered, bounds, policy));
         }
 
         let features = self.prev_used.as_ref().map(|prev| {
@@ -180,11 +231,10 @@ impl<'a> MonitoringSession<'a> {
                 features.push(delta);
             }
             if config.include_topology {
-                features.extend(self.aqua.network().topology_features());
+                features.extend(aqua.network().topology_features());
             }
             features
         });
-        let time = snapshot.time;
         self.prev_used = Some(used);
         if let Some(before) = quarantined_before {
             tel.add("core.monitor.slots", 1);
@@ -200,7 +250,7 @@ impl<'a> MonitoringSession<'a> {
             return Ok(None);
         };
 
-        let inference = self.aqua.infer(self.profile, &features, external)?;
+        let inference = aqua.infer(profile, &features, external)?;
         if !inference.leak_nodes.is_empty() {
             if tel.enabled() {
                 tel.add("core.monitor.detections", 1);
@@ -217,6 +267,78 @@ impl<'a> MonitoringSession<'a> {
             });
         }
         Ok(Some(inference))
+    }
+}
+
+/// A streaming Phase-II session over live readings: a [`SessionState`]
+/// bundled with the deployment it monitors. Dereferences to the state, so
+/// health/quarantine/detection accessors are available directly.
+pub struct MonitoringSession<'a> {
+    aqua: &'a AquaScale<'a>,
+    profile: &'a ProfileModel,
+    state: SessionState,
+}
+
+impl<'a> Deref for MonitoringSession<'a> {
+    type Target = SessionState;
+    fn deref(&self) -> &SessionState {
+        &self.state
+    }
+}
+
+impl<'a> DerefMut for MonitoringSession<'a> {
+    fn deref_mut(&mut self) -> &mut SessionState {
+        &mut self.state
+    }
+}
+
+impl<'a> MonitoringSession<'a> {
+    /// Starts a session against a trained profile (no injected faults).
+    pub fn new(aqua: &'a AquaScale<'a>, profile: &'a ProfileModel, seed: u64) -> Self {
+        Self::with_faults(aqua, profile, seed, FaultModel::none())
+    }
+
+    /// Starts a session whose readings pass through a [`FaultModel`] — the
+    /// degraded-data drill mode used by the robustness bench and tests.
+    pub fn with_faults(
+        aqua: &'a AquaScale<'a>,
+        profile: &'a ProfileModel,
+        seed: u64,
+        faults: FaultModel,
+    ) -> Self {
+        MonitoringSession {
+            aqua,
+            profile,
+            state: SessionState::new(profile.sensors.len(), seed, faults),
+        }
+    }
+
+    /// Replaces the health policy (builder style).
+    pub fn with_policy(mut self, policy: HealthPolicy) -> Self {
+        self.state = self.state.with_policy(policy);
+        self
+    }
+
+    /// Feeds the next slot's hydraulic state; see [`SessionState::observe`].
+    pub fn observe(
+        &mut self,
+        snapshot: Snapshot,
+        external: &ExternalObservations,
+    ) -> Result<Option<Inference>, AquaError> {
+        self.state
+            .observe(self.aqua, self.profile, snapshot, external)
+    }
+
+    /// Feeds one slot of already-measured readings; see
+    /// [`SessionState::observe_readings`].
+    pub fn observe_readings(
+        &mut self,
+        time: u64,
+        readings: &[Option<f64>],
+        external: &ExternalObservations,
+    ) -> Result<Option<Inference>, AquaError> {
+        self.state
+            .observe_readings(self.aqua, self.profile, time, readings, external)
     }
 
     /// Convenience driver: simulates `slots` sampling intervals of `step`
@@ -332,6 +454,80 @@ mod tests {
             .observe(snap, &ExternalObservations::none())
             .unwrap();
         assert!(out.is_none());
+    }
+
+    #[test]
+    fn observe_readings_matches_observe_on_identical_values() {
+        // The serving ingest path and the snapshot path must agree exactly
+        // when fed the same measured values. Noiseless config: `observe`
+        // adds no noise, so the raw sensor values ARE the measurements.
+        let (net, config) = trained();
+        let aqua = AquaScale::new(&net, config);
+        let profile = aqua.train_profile().unwrap();
+        let mut by_snapshot = MonitoringSession::new(&aqua, &profile, 5);
+        let mut by_readings = MonitoringSession::new(&aqua, &profile, 5);
+
+        let leak_node = net.junction_ids()[33];
+        let scenario = Scenario::new().with_leak(LeakEvent::new(leak_node, 0.015, 4 * 900));
+        for slot in 0..=8u64 {
+            let t = slot * 900;
+            let snap = solve_snapshot(&net, &scenario, t, &SolverOptions::default()).unwrap();
+            let readings: Vec<Option<f64>> = profile
+                .sensors
+                .pressure_nodes
+                .iter()
+                .map(|&n| Some(snap.pressure(n)))
+                .chain(
+                    profile
+                        .sensors
+                        .flow_links
+                        .iter()
+                        .map(|&l| Some(snap.flow(l))),
+                )
+                .collect();
+            let a = by_snapshot
+                .observe(snap, &ExternalObservations::none())
+                .unwrap();
+            let b = by_readings
+                .observe_readings(t, &readings, &ExternalObservations::none())
+                .unwrap();
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.leak_nodes, b.leak_nodes, "slot {slot}");
+                    let a_bits: Vec<u64> = a.p1.iter().map(|p| p.to_bits()).collect();
+                    let b_bits: Vec<u64> = b.p1.iter().map(|p| p.to_bits()).collect();
+                    assert_eq!(
+                        a_bits, b_bits,
+                        "slot {slot}: probabilities must be bitwise equal"
+                    );
+                }
+                other => panic!("slot {slot}: paths disagree on Some/None: {other:?}"),
+            }
+        }
+        assert_eq!(
+            by_snapshot.detections.len(),
+            by_readings.detections.len(),
+            "both paths must fire the same detections"
+        );
+    }
+
+    #[test]
+    fn observe_readings_rejects_wrong_channel_count() {
+        let net = synth::epa_net();
+        let config = AquaScaleConfig {
+            model: ModelKind::logistic_r(),
+            train_samples: 40,
+            threads: 4,
+            ..Default::default()
+        };
+        let aqua = AquaScale::new(&net, config);
+        let profile = aqua.train_profile().unwrap();
+        let mut session = MonitoringSession::new(&aqua, &profile, 5);
+        let err = session
+            .observe_readings(0, &[Some(1.0)], &ExternalObservations::none())
+            .expect_err("one reading for many channels");
+        assert!(matches!(err, AquaError::InvalidConfig { .. }));
     }
 
     #[test]

@@ -84,8 +84,8 @@ impl AquaScaleConfig {
 /// The Phase-I output: the trained profile model `f = {f_v}` plus the
 /// feature scaler and deployment metadata needed at inference time.
 pub struct ProfileModel {
-    model: MultiOutputModel,
-    scaler: Scaler,
+    pub(crate) model: MultiOutputModel,
+    pub(crate) scaler: Scaler,
     /// Candidate leak locations, aligned with probability vectors.
     pub junctions: Vec<NodeId>,
     /// The sensor deployment the profile was trained for.

@@ -1,0 +1,286 @@
+//! Hosted monitoring sessions: the shared-state substrate of the serving
+//! layer.
+//!
+//! A [`HostedSession`] owns everything one monitored network needs — the
+//! network, the deployment configuration, the trained profile and the
+//! evolving [`SessionState`] — so it can live inside a long-running server
+//! with no borrows back into caller state. A [`SessionRegistry`] keys many
+//! hosted sessions by network id behind sharded locks, so concurrent
+//! requests against *different* sessions never contend on one mutex.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use aqua_net::Network;
+use aqua_sensing::FaultModel;
+use aqua_telemetry::TelemetryCtx;
+
+use crate::artifact::ProfileArtifact;
+use crate::error::AquaError;
+use crate::monitor::{Detection, SessionState};
+use crate::pipeline::{AquaScale, AquaScaleConfig, ExternalObservations, Inference, ProfileModel};
+
+/// One fully-owned monitoring deployment: network + config + trained
+/// profile + streaming state.
+pub struct HostedSession {
+    net: Network,
+    config: AquaScaleConfig,
+    profile: ProfileModel,
+    state: SessionState,
+}
+
+impl HostedSession {
+    /// Hosts a trained profile against an owned network.
+    pub fn new(
+        net: Network,
+        config: AquaScaleConfig,
+        profile: ProfileModel,
+        seed: u64,
+    ) -> HostedSession {
+        let state = SessionState::new(profile.sensors.len(), seed, FaultModel::none());
+        HostedSession {
+            net,
+            config,
+            profile,
+            state,
+        }
+    }
+
+    /// Hosts a loaded [`ProfileArtifact`], first verifying it was trained
+    /// on `net` (same name, node count, link count). The artifact's
+    /// feature and tuning configuration are adopted, so inference behaves
+    /// exactly as it did in the training deployment.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidConfig` when the artifact does not match the network.
+    pub fn from_artifact(
+        net: Network,
+        artifact: ProfileArtifact,
+        seed: u64,
+    ) -> Result<HostedSession, AquaError> {
+        artifact.verify_network(&net)?;
+        let config = AquaScaleConfig {
+            features: artifact.features,
+            tuning: artifact.tuning,
+            sensors: Some(artifact.sensors.clone()),
+            train_samples: artifact.train_samples,
+            seed: artifact.seed,
+            ..AquaScaleConfig::default()
+        };
+        Ok(HostedSession::new(
+            net,
+            config,
+            artifact.into_profile(),
+            seed,
+        ))
+    }
+
+    /// Feeds one slot of measured readings through the session (fault
+    /// injection → health/quarantine → delta features → Phase-II
+    /// inference). See [`SessionState::observe_readings`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidConfig` when the reading count does not match the sensor
+    /// deployment; inference errors propagate.
+    pub fn ingest(
+        &mut self,
+        time: u64,
+        readings: &[Option<f64>],
+        tel: TelemetryCtx<'_>,
+    ) -> Result<Option<Inference>, AquaError> {
+        let aqua = AquaScale::new(&self.net, self.config.clone()).with_telemetry(tel);
+        self.state.observe_readings(
+            &aqua,
+            &self.profile,
+            time,
+            readings,
+            &ExternalObservations::none(),
+        )
+    }
+
+    /// Detections fired so far.
+    pub fn detections(&self) -> &[Detection] {
+        &self.state.detections
+    }
+
+    /// Number of sensor channels the session expects per slot.
+    pub fn channels(&self) -> usize {
+        self.profile.sensors.len()
+    }
+
+    /// The sensor deployment (channel order: pressure nodes, then flow
+    /// links).
+    pub fn sensors(&self) -> &aqua_sensing::SensorSet {
+        &self.profile.sensors
+    }
+
+    /// The hosted network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The streaming state (health, quarantine, slot count).
+    pub fn state(&self) -> &SessionState {
+        &self.state
+    }
+}
+
+const SHARDS: usize = 8;
+
+/// Concurrent map of hosted sessions keyed by session id, sharded so
+/// requests against different sessions rarely share a lock.
+pub struct SessionRegistry {
+    shards: Vec<Mutex<HashMap<String, HostedSession>>>,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, id: &str) -> &Mutex<HashMap<String, HostedSession>> {
+        // FNV-1a; stable across runs so shard assignment is deterministic.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in id.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    fn lock(
+        m: &Mutex<HashMap<String, HostedSession>>,
+    ) -> std::sync::MutexGuard<'_, HashMap<String, HostedSession>> {
+        // A worker that panicked mid-request must not take the whole
+        // registry down with it.
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Registers (or replaces) a session under `id`.
+    pub fn insert(&self, id: impl Into<String>, session: HostedSession) {
+        let id = id.into();
+        Self::lock(self.shard(&id)).insert(id, session);
+    }
+
+    /// Removes the session under `id`; returns whether one existed.
+    pub fn remove(&self, id: &str) -> bool {
+        Self::lock(self.shard(id)).remove(id).is_some()
+    }
+
+    /// Runs `f` with exclusive access to the session under `id`. Returns
+    /// `None` when no such session exists. Only the owning shard is locked
+    /// for the duration.
+    pub fn with_session<R>(&self, id: &str, f: impl FnOnce(&mut HostedSession) -> R) -> Option<R> {
+        let mut shard = Self::lock(self.shard(id));
+        shard.get_mut(id).map(f)
+    }
+
+    /// All registered session ids, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| Self::lock(s).keys().cloned().collect::<Vec<_>>())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of hosted sessions.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).len()).sum()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_hydraulics::{solve_snapshot, Scenario, SolverOptions};
+    use aqua_ml::ModelKind;
+    use aqua_net::synth;
+
+    fn hosted() -> HostedSession {
+        let net = synth::epa_net();
+        let config = AquaScaleConfig {
+            model: ModelKind::LinearR,
+            train_samples: 40,
+            threads: 4,
+            ..AquaScaleConfig::default()
+        };
+        let aqua = AquaScale::new(&net, config.clone());
+        let profile = aqua.train_profile().expect("train");
+        HostedSession::new(synth::epa_net(), config, profile, 7)
+    }
+
+    #[test]
+    fn hosted_session_ingests_readings() {
+        let mut session = hosted();
+        let net = synth::epa_net();
+        let snap =
+            solve_snapshot(&net, &Scenario::default(), 0, &SolverOptions::default()).unwrap();
+        let sensors = session.sensors().clone();
+        let readings: Vec<Option<f64>> = sensors
+            .pressure_nodes
+            .iter()
+            .map(|&n| Some(snap.pressure(n)))
+            .chain(sensors.flow_links.iter().map(|&l| Some(snap.flow(l))))
+            .collect();
+        assert!(session
+            .ingest(0, &readings, TelemetryCtx::none())
+            .unwrap()
+            .is_none());
+        assert!(session
+            .ingest(900, &readings, TelemetryCtx::none())
+            .unwrap()
+            .is_some());
+        assert_eq!(session.state().slots_observed(), 2);
+    }
+
+    #[test]
+    fn registry_routes_by_id() {
+        let registry = SessionRegistry::new();
+        assert!(registry.is_empty());
+        registry.insert("epa", hosted());
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.ids(), vec!["epa".to_string()]);
+        let channels = registry.with_session("epa", |s| s.channels());
+        assert!(channels.unwrap() > 0);
+        assert!(registry.with_session("nope", |_| ()).is_none());
+        assert!(registry.remove("epa"));
+        assert!(!registry.remove("epa"));
+    }
+
+    #[test]
+    fn from_artifact_rejects_the_wrong_network() {
+        let net = synth::epa_net();
+        let config = AquaScaleConfig {
+            model: ModelKind::LinearR,
+            train_samples: 40,
+            threads: 4,
+            ..AquaScaleConfig::default()
+        };
+        let aqua = AquaScale::new(&net, config);
+        let profile = aqua.train_profile().expect("train");
+        let artifact = ProfileArtifact::capture(&aqua, profile);
+        let err = HostedSession::from_artifact(synth::wssc_subnet(), artifact, 1)
+            .err()
+            .expect("network mismatch");
+        assert!(matches!(err, AquaError::InvalidConfig { .. }));
+    }
+}

@@ -1,0 +1,118 @@
+//! Artifact integrity: corruption rejection (property-based) and a
+//! fixture-pinned golden artifact guarding the on-disk format against
+//! accidental drift.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use aqua_core::{AquaScale, AquaScaleConfig, ExternalObservations, ProfileArtifact};
+use aqua_ml::ModelKind;
+use aqua_net::synth;
+use aqua_sensing::{FeatureConfig, MeasurementNoise};
+use proptest::prelude::*;
+
+/// The deterministic training run behind both the golden fixture and the
+/// corruption property. Regenerate the fixture with
+/// `cargo test -p aqua-core --test artifact_integrity -- --ignored`.
+fn fixture_artifact() -> ProfileArtifact {
+    let net = synth::epa_net();
+    let config = AquaScaleConfig {
+        model: ModelKind::LinearR,
+        train_samples: 40,
+        features: FeatureConfig {
+            noise: MeasurementNoise::none(),
+            ..FeatureConfig::default()
+        },
+        threads: 4,
+        ..AquaScaleConfig::default()
+    };
+    let aqua = AquaScale::new(&net, config);
+    let profile = aqua.train_profile().expect("train");
+    ProfileArtifact::capture(&aqua, profile)
+}
+
+fn artifact_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| fixture_artifact().to_bytes())
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("epa_linear.aquaprof")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn any_single_byte_corruption_is_rejected(idx in 0usize..1_048_576, bit in 0u32..8) {
+        let bytes = artifact_bytes();
+        let pos = idx % bytes.len();
+        let mut corrupted = bytes.to_vec();
+        // A bit flip guarantees the byte actually changed.
+        corrupted[pos] ^= 1u8 << bit;
+        prop_assert!(
+            ProfileArtifact::from_bytes(&corrupted).is_err(),
+            "corruption at byte {} must not decode",
+            pos
+        );
+    }
+}
+
+#[test]
+fn truncation_at_any_boundary_is_rejected() {
+    let bytes = artifact_bytes();
+    for cut in [0, 1, 7, 8, 11, 12, 19, 20, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            ProfileArtifact::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes must not decode"
+        );
+    }
+}
+
+#[test]
+fn golden_fixture_still_decodes_and_reencodes_identically() {
+    let pinned = std::fs::read(fixture_path())
+        .expect("golden fixture present (regenerate with -- --ignored)");
+    let artifact = ProfileArtifact::from_bytes(&pinned).expect("golden fixture decodes");
+
+    // Pinned metadata: this is the contract with already-shipped artifacts.
+    assert_eq!(artifact.network_id, "EPA-NET");
+    assert_eq!(artifact.train_samples, 40);
+    assert_eq!(artifact.seed, 42);
+    assert!(!artifact.junctions.is_empty());
+    assert_eq!(artifact.features.noise, MeasurementNoise::none());
+
+    // Encoding is a pure function of decoded state: byte-identical re-emit.
+    assert_eq!(
+        artifact.to_bytes(),
+        pinned,
+        "re-encoding the golden fixture must reproduce it byte for byte"
+    );
+
+    // The model inside is usable: a zero-delta row yields finite,
+    // well-formed probabilities.
+    let net = synth::epa_net();
+    let n_junctions = artifact.junctions.len();
+    let profile = artifact.into_profile();
+    let features = vec![0.0; profile.sensors.len() + 16];
+    let aqua = AquaScale::new(&net, AquaScaleConfig::default());
+    let inference = aqua
+        .infer(&profile, &features, &ExternalObservations::none())
+        .expect("inference on the restored profile");
+    assert_eq!(inference.p1.len(), n_junctions);
+    assert!(inference.p1.iter().all(|p| p.is_finite()));
+}
+
+/// Regenerates the golden fixture. Run manually after an intentional
+/// format change (and bump `FORMAT_VERSION` if old artifacts must stop
+/// decoding): `cargo test -p aqua-core --test artifact_integrity -- --ignored`
+#[test]
+#[ignore]
+fn regenerate_golden_fixture() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    std::fs::write(&path, artifact_bytes()).unwrap();
+    eprintln!("wrote {}", path.display());
+}

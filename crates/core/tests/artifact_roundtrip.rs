@@ -1,0 +1,114 @@
+//! Artifact round-trip losslessness: a profile saved and reloaded must
+//! produce **bitwise identical** predictions over a full Phase-II
+//! evaluation set, on both evaluation networks.
+
+use aqua_core::{AquaScale, AquaScaleConfig, ExternalObservations, ProfileArtifact};
+use aqua_ml::ModelKind;
+use aqua_net::synth;
+use aqua_net::Network;
+use aqua_sensing::{FeatureConfig, MeasurementNoise};
+
+fn roundtrip_is_bitwise_lossless(net: Network, config: AquaScaleConfig, eval_samples: usize) {
+    let aqua = AquaScale::new(&net, config);
+    let profile = aqua.train_profile().expect("train");
+    // A held-out Phase-II evaluation set (different seed than training).
+    let eval = aqua
+        .generate_dataset(eval_samples, 0xE7A1)
+        .expect("eval set");
+
+    let reference_p1: Vec<Vec<u64>> = eval
+        .x
+        .iter_rows()
+        .map(|row| {
+            aqua.infer(&profile, row, &ExternalObservations::none())
+                .expect("infer")
+                .p1
+                .iter()
+                .map(|p| p.to_bits())
+                .collect()
+        })
+        .collect();
+    let reference_labels = aqua.predict_batch(&profile, &eval.x).expect("predict");
+
+    // Save → load through the container format.
+    let bytes = ProfileArtifact::capture(&aqua, profile).to_bytes();
+    let restored = ProfileArtifact::from_bytes(&bytes)
+        .expect("decode")
+        .into_profile();
+
+    let restored_p1: Vec<Vec<u64>> = eval
+        .x
+        .iter_rows()
+        .map(|row| {
+            aqua.infer(&restored, row, &ExternalObservations::none())
+                .expect("infer")
+                .p1
+                .iter()
+                .map(|p| p.to_bits())
+                .collect()
+        })
+        .collect();
+    assert_eq!(
+        reference_p1, restored_p1,
+        "reloaded probabilities must be bitwise identical"
+    );
+    assert_eq!(
+        reference_labels,
+        aqua.predict_batch(&restored, &eval.x).expect("predict"),
+        "reloaded hard predictions must be identical"
+    );
+}
+
+#[test]
+fn epa_net_hybrid_rsl_roundtrip_is_lossless() {
+    // The paper's winning model (stacked RF + SVM) on the EPA-NET testbed:
+    // the deepest codec path (forests of trees + Platt-scaled SVM + fusion
+    // weights).
+    let config = AquaScaleConfig {
+        model: ModelKind::hybrid_rsl(),
+        train_samples: 60,
+        threads: 4,
+        ..AquaScaleConfig::default()
+    };
+    roundtrip_is_bitwise_lossless(synth::epa_net(), config, 24);
+}
+
+#[test]
+fn wssc_subnet_roundtrip_is_lossless() {
+    // The larger WSSC evaluation network (~300 junctions). A linear scorer
+    // keeps 298 per-node fits fast while still exercising scale.
+    let config = AquaScaleConfig {
+        model: ModelKind::LinearR,
+        train_samples: 60,
+        features: FeatureConfig {
+            noise: MeasurementNoise::none(),
+            ..FeatureConfig::default()
+        },
+        threads: 4,
+        ..AquaScaleConfig::default()
+    };
+    roundtrip_is_bitwise_lossless(synth::wssc_subnet(), config, 24);
+}
+
+#[test]
+fn save_and_load_through_the_filesystem() {
+    let net = synth::epa_net();
+    let config = AquaScaleConfig {
+        model: ModelKind::LinearR,
+        train_samples: 40,
+        threads: 4,
+        ..AquaScaleConfig::default()
+    };
+    let aqua = AquaScale::new(&net, config);
+    let profile = aqua.train_profile().expect("train");
+    let artifact = ProfileArtifact::capture(&aqua, profile);
+
+    let dir = std::env::temp_dir().join(format!("aqua-artifact-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("epa.aquaprof");
+    artifact.save(&path).expect("save");
+    let loaded = ProfileArtifact::load(&path).expect("load");
+    assert_eq!(loaded.network_id, artifact.network_id);
+    assert_eq!(loaded.to_bytes(), artifact.to_bytes());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,6 +1,7 @@
 //! Algorithm 2: event prediction (freeze fusion) and event tuning (clique
 //! consistency), minimizing the energy function eq. (9).
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 use crate::bayes;
@@ -23,6 +24,19 @@ impl Default for TuningConfig {
             p_leak_given_freeze: 0.9,
             gamma_threshold: 0.0,
         }
+    }
+}
+
+impl Codec for TuningConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.f64(self.p_leak_given_freeze);
+        w.f64(self.gamma_threshold);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(TuningConfig {
+            p_leak_given_freeze: r.f64()?,
+            gamma_threshold: r.f64()?,
+        })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Hydraulic state at one instant.
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use aqua_net::{LinkId, Network, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +88,36 @@ impl Snapshot {
             .into_iter()
             .map(|id| self.mass_residual(net, id).abs())
             .fold(0.0, f64::max)
+    }
+}
+
+impl Codec for Snapshot {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.time);
+        self.heads.encode(w);
+        self.flows.encode(w);
+        self.elevations.encode(w);
+        self.demands.encode(w);
+        self.emitter_flows.encode(w);
+        w.len_prefix(self.iterations);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let snap = Snapshot {
+            time: r.u64()?,
+            heads: Codec::decode(r)?,
+            flows: Codec::decode(r)?,
+            elevations: Codec::decode(r)?,
+            demands: Codec::decode(r)?,
+            emitter_flows: Codec::decode(r)?,
+            iterations: usize::decode(r)?,
+        };
+        let n = snap.heads.len();
+        if snap.elevations.len() != n || snap.demands.len() != n || snap.emitter_flows.len() != n {
+            return Err(ArtifactError::Malformed {
+                reason: "snapshot per-node vector lengths disagree".into(),
+            });
+        }
+        Ok(snap)
     }
 }
 

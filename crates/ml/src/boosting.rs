@@ -1,5 +1,6 @@
 //! Gradient boosting with logistic loss (the paper's "GB").
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -136,6 +137,46 @@ impl Classifier for GradientBoosting {
 
     fn boosting_rounds(&self) -> Option<usize> {
         Some(self.stage_count())
+    }
+
+    fn encode_state(&self, w: &mut Writer) {
+        Codec::encode(self, w);
+    }
+}
+
+impl Codec for GradientBoostingConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.len_prefix(self.n_stages);
+        w.f64(self.learning_rate);
+        w.len_prefix(self.max_depth);
+        w.len_prefix(self.min_samples_split);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(GradientBoostingConfig {
+            n_stages: usize::decode(r)?,
+            learning_rate: r.f64()?,
+            max_depth: usize::decode(r)?,
+            min_samples_split: usize::decode(r)?,
+        })
+    }
+}
+
+impl Codec for GradientBoosting {
+    fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        w.u64(self.seed);
+        w.f64(self.init_score);
+        self.stages.encode(w);
+        self.n_features.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(GradientBoosting {
+            config: Codec::decode(r)?,
+            seed: r.u64()?,
+            init_score: r.f64()?,
+            stages: Codec::decode(r)?,
+            n_features: Codec::decode(r)?,
+        })
     }
 }
 

@@ -1,5 +1,7 @@
 //! The plug-and-play classifier interface and model factory.
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
+
 use crate::boosting::{GradientBoosting, GradientBoostingConfig};
 use crate::error::MlError;
 use crate::forest::{RandomForest, RandomForestConfig};
@@ -46,6 +48,11 @@ pub trait Classifier: Send {
     fn boosting_rounds(&self) -> Option<usize> {
         None
     }
+
+    /// Serializes the full model state (hyperparameters + fitted weights)
+    /// with the artifact wire codec. The inverse is
+    /// [`ModelKind::decode_classifier`], which dispatches on the family.
+    fn encode_state(&self, w: &mut Writer);
 }
 
 /// Factory for the model families the paper compares (Sec. IV-A / Fig. 6),
@@ -165,6 +172,85 @@ impl ModelKind {
                 Box::new(HybridRsl::with_config(config.clone(), seed))
             }
         }
+    }
+
+    /// Decodes one classifier of this family from bytes produced by
+    /// [`Classifier::encode_state`]. The encoded state carries its own
+    /// hyperparameters, so only the family dispatch comes from `self`.
+    pub fn decode_classifier(
+        &self,
+        r: &mut Reader<'_>,
+    ) -> Result<Box<dyn Classifier>, ArtifactError> {
+        Ok(match self {
+            ModelKind::LinearR => Box::new(LinearRegressionClassifier::decode(r)?),
+            ModelKind::LogisticR { .. } => Box::new(LogisticRegression::decode(r)?),
+            ModelKind::GradientBoosting { .. } => Box::new(GradientBoosting::decode(r)?),
+            ModelKind::RandomForest { .. } => Box::new(RandomForest::decode(r)?),
+            ModelKind::Svm { .. } => Box::new(LinearSvm::decode(r)?),
+            ModelKind::DecisionTree { .. } => Box::new(DecisionTree::decode(r)?),
+            ModelKind::HybridRsl { .. } => Box::new(HybridRsl::decode(r)?),
+        })
+    }
+}
+
+impl Codec for ModelKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ModelKind::LinearR => w.u8(0),
+            ModelKind::LogisticR { config } => {
+                w.u8(1);
+                config.encode(w);
+            }
+            ModelKind::GradientBoosting { config } => {
+                w.u8(2);
+                config.encode(w);
+            }
+            ModelKind::RandomForest { config } => {
+                w.u8(3);
+                config.encode(w);
+            }
+            ModelKind::Svm { config } => {
+                w.u8(4);
+                config.encode(w);
+            }
+            ModelKind::DecisionTree { config } => {
+                w.u8(5);
+                config.encode(w);
+            }
+            ModelKind::HybridRsl { config } => {
+                w.u8(6);
+                config.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(match r.u8()? {
+            0 => ModelKind::LinearR,
+            1 => ModelKind::LogisticR {
+                config: Codec::decode(r)?,
+            },
+            2 => ModelKind::GradientBoosting {
+                config: Codec::decode(r)?,
+            },
+            3 => ModelKind::RandomForest {
+                config: Codec::decode(r)?,
+            },
+            4 => ModelKind::Svm {
+                config: Codec::decode(r)?,
+            },
+            5 => ModelKind::DecisionTree {
+                config: Codec::decode(r)?,
+            },
+            6 => ModelKind::HybridRsl {
+                config: Codec::decode(r)?,
+            },
+            tag => {
+                return Err(ArtifactError::Malformed {
+                    reason: format!("unknown model-kind tag {tag}"),
+                })
+            }
+        })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Dataset utilities: splitting and feature standardization.
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -121,6 +122,23 @@ impl Scaler {
         for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
             *v = (*v - m) / s;
         }
+    }
+}
+
+impl Codec for Scaler {
+    fn encode(&self, w: &mut Writer) {
+        self.means.encode(w);
+        self.stds.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let means: Vec<f64> = Codec::decode(r)?;
+        let stds: Vec<f64> = Codec::decode(r)?;
+        if means.len() != stds.len() {
+            return Err(ArtifactError::Malformed {
+                reason: "scaler mean/std length mismatch".into(),
+            });
+        }
+        Ok(Scaler { means, stds })
     }
 }
 

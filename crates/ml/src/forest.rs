@@ -1,5 +1,6 @@
 //! Random forest (the paper's "RF").
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -120,6 +121,42 @@ impl Classifier for RandomForest {
                 self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>() / self.trees.len() as f64
             })
             .collect())
+    }
+
+    fn encode_state(&self, w: &mut Writer) {
+        Codec::encode(self, w);
+    }
+}
+
+impl Codec for RandomForestConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.len_prefix(self.n_trees);
+        self.tree.encode(w);
+        w.bool(self.balance_classes);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(RandomForestConfig {
+            n_trees: usize::decode(r)?,
+            tree: Codec::decode(r)?,
+            balance_classes: r.bool()?,
+        })
+    }
+}
+
+impl Codec for RandomForest {
+    fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        w.u64(self.seed);
+        self.trees.encode(w);
+        self.n_features.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(RandomForest {
+            config: Codec::decode(r)?,
+            seed: r.u64()?,
+            trees: Codec::decode(r)?,
+            n_features: Codec::decode(r)?,
+        })
     }
 }
 

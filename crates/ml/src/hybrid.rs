@@ -7,6 +7,8 @@
 //! decreasing number of IoT sensors", and LogisticR because it "has low
 //! variances and is less prone to overfitting".
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
+
 use crate::classifier::Classifier;
 use crate::error::MlError;
 use crate::forest::{RandomForest, RandomForestConfig};
@@ -87,6 +89,46 @@ impl Classifier for HybridRsl {
         }
         let meta = self.meta_features(x)?;
         self.fusion.predict_proba(&meta)
+    }
+
+    fn encode_state(&self, w: &mut Writer) {
+        Codec::encode(self, w);
+    }
+}
+
+impl Codec for HybridRslConfig {
+    fn encode(&self, w: &mut Writer) {
+        self.forest.encode(w);
+        self.svm.encode(w);
+        self.fusion.encode(w);
+        w.bool(self.passthrough_features);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(HybridRslConfig {
+            forest: Codec::decode(r)?,
+            svm: Codec::decode(r)?,
+            fusion: Codec::decode(r)?,
+            passthrough_features: r.bool()?,
+        })
+    }
+}
+
+impl Codec for HybridRsl {
+    fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        self.forest.encode(w);
+        self.svm.encode(w);
+        self.fusion.encode(w);
+        w.bool(self.fitted);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(HybridRsl {
+            config: Codec::decode(r)?,
+            forest: Codec::decode(r)?,
+            svm: Codec::decode(r)?,
+            fusion: Codec::decode(r)?,
+            fitted: r.bool()?,
+        })
     }
 }
 

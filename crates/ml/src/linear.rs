@@ -1,5 +1,7 @@
 //! Linear models: least-squares scorer and logistic regression.
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
+
 use crate::classifier::util::{check_fit, check_predict, sigmoid};
 use crate::classifier::Classifier;
 use crate::dense::solve_spd;
@@ -70,6 +72,23 @@ impl Classifier for LinearRegressionClassifier {
         Ok(x.iter_rows()
             .map(|row| self.score(row, w).clamp(0.0, 1.0))
             .collect())
+    }
+
+    fn encode_state(&self, w: &mut Writer) {
+        Codec::encode(self, w);
+    }
+}
+
+impl Codec for LinearRegressionClassifier {
+    fn encode(&self, w: &mut Writer) {
+        w.f64(self.ridge);
+        self.weights.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(LinearRegressionClassifier {
+            ridge: r.f64()?,
+            weights: Codec::decode(r)?,
+        })
     }
 }
 
@@ -196,6 +215,40 @@ impl Classifier for LogisticRegression {
                 sigmoid(z)
             })
             .collect())
+    }
+
+    fn encode_state(&self, w: &mut Writer) {
+        Codec::encode(self, w);
+    }
+}
+
+impl Codec for LogisticRegressionConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.f64(self.l2);
+        w.len_prefix(self.max_iterations);
+        w.f64(self.tolerance);
+        w.bool(self.balance_classes);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(LogisticRegressionConfig {
+            l2: r.f64()?,
+            max_iterations: usize::decode(r)?,
+            tolerance: r.f64()?,
+            balance_classes: r.bool()?,
+        })
+    }
+}
+
+impl Codec for LogisticRegression {
+    fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        self.weights.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(LogisticRegression {
+            config: Codec::decode(r)?,
+            weights: Codec::decode(r)?,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! Linear SVM trained with Pegasos, probabilities via Platt scaling
 //! (the paper's "SVM").
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -168,6 +169,44 @@ impl Classifier for LinearSvm {
             .into_iter()
             .map(|m| u8::from(m > 0.0))
             .collect())
+    }
+
+    fn encode_state(&self, w: &mut Writer) {
+        Codec::encode(self, w);
+    }
+}
+
+impl Codec for LinearSvmConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.f64(self.lambda);
+        w.len_prefix(self.epochs);
+        w.bool(self.balance_classes);
+        w.len_prefix(self.platt_iterations);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(LinearSvmConfig {
+            lambda: r.f64()?,
+            epochs: usize::decode(r)?,
+            balance_classes: r.bool()?,
+            platt_iterations: usize::decode(r)?,
+        })
+    }
+}
+
+impl Codec for LinearSvm {
+    fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        w.u64(self.seed);
+        self.weights.encode(w);
+        self.platt.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(LinearSvm {
+            config: Codec::decode(r)?,
+            seed: r.u64()?,
+            weights: Codec::decode(r)?,
+            platt: Codec::decode(r)?,
+        })
     }
 }
 

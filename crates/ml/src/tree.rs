@@ -5,6 +5,7 @@
 //! [`crate::RandomForest`] and the regression trees inside
 //! [`crate::GradientBoosting`].
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -234,6 +235,100 @@ impl GrownTree {
     }
 }
 
+impl Codec for TreeNode {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            TreeNode::Leaf { value } => {
+                w.u8(0);
+                w.f64(*value);
+            }
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                w.u8(1);
+                w.len_prefix(*feature);
+                w.f64(*threshold);
+                w.len_prefix(*left);
+                w.len_prefix(*right);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(match r.u8()? {
+            0 => TreeNode::Leaf { value: r.f64()? },
+            1 => TreeNode::Split {
+                feature: usize::decode(r)?,
+                threshold: r.f64()?,
+                left: usize::decode(r)?,
+                right: usize::decode(r)?,
+            },
+            tag => {
+                return Err(ArtifactError::Malformed {
+                    reason: format!("unknown tree-node tag {tag}"),
+                })
+            }
+        })
+    }
+}
+
+impl Codec for GrownTree {
+    fn encode(&self, w: &mut Writer) {
+        self.nodes.encode(w);
+        w.len_prefix(self.n_features);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let nodes: Vec<TreeNode> = Codec::decode(r)?;
+        let n_features = usize::decode(r)?;
+        // A decoded tree is traversed without bounds pre-checks, so child
+        // indices must stay inside the arena.
+        for node in &nodes {
+            if let TreeNode::Split { left, right, .. } = node {
+                if *left >= nodes.len() || *right >= nodes.len() {
+                    return Err(ArtifactError::Malformed {
+                        reason: "tree child index out of bounds".into(),
+                    });
+                }
+            }
+        }
+        Ok(GrownTree { nodes, n_features })
+    }
+}
+
+impl Codec for DecisionTreeConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.len_prefix(self.max_depth);
+        w.len_prefix(self.min_samples_split);
+        self.max_features.encode(w);
+        w.bool(self.balance_classes);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(DecisionTreeConfig {
+            max_depth: usize::decode(r)?,
+            min_samples_split: usize::decode(r)?,
+            max_features: Codec::decode(r)?,
+            balance_classes: r.bool()?,
+        })
+    }
+}
+
+impl Codec for DecisionTree {
+    fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        w.u64(self.seed);
+        self.tree.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(DecisionTree {
+            config: Codec::decode(r)?,
+            seed: r.u64()?,
+            tree: Codec::decode(r)?,
+        })
+    }
+}
+
 fn impurity(targets: &[f64], indices: &[usize], criterion: Criterion) -> f64 {
     let n = indices.len() as f64;
     match criterion {
@@ -302,6 +397,10 @@ impl Classifier for DecisionTree {
         let tree = self.tree.as_ref().ok_or(MlError::NotFitted)?;
         check_predict(x, Some(tree.n_features))?;
         Ok(x.iter_rows().map(|row| tree.predict_one(row)).collect())
+    }
+
+    fn encode_state(&self, w: &mut Writer) {
+        Codec::encode(self, w);
     }
 }
 

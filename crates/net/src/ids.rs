@@ -1,5 +1,6 @@
 //! Typed indices into a [`crate::Network`].
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// Index of a node (junction, reservoir or tank) within a network.
@@ -56,6 +57,24 @@ impl PatternId {
     }
 }
 
+impl Codec for NodeId {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.0 as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(NodeId(usize::decode(r)?))
+    }
+}
+
+impl Codec for LinkId {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.0 as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(LinkId(usize::decode(r)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +95,20 @@ mod tests {
     fn ids_are_ordered_by_index() {
         assert!(NodeId::from_index(1) < NodeId::from_index(2));
         assert!(LinkId::from_index(0) < LinkId::from_index(9));
+    }
+
+    #[test]
+    fn ids_round_trip_through_the_artifact_codec() {
+        let mut w = Writer::new();
+        vec![NodeId(3), NodeId(91)].encode(&mut w);
+        LinkId(7).encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            Vec::<NodeId>::decode(&mut r).unwrap(),
+            vec![NodeId(3), NodeId(91)]
+        );
+        assert_eq!(LinkId::decode(&mut r).unwrap(), LinkId(7));
+        r.finish().unwrap();
     }
 }

@@ -32,6 +32,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// The fault mode that affected a reading.
@@ -117,6 +118,29 @@ impl Default for FaultModel {
             spike_magnitude: 5.0,
             seed: 0,
         }
+    }
+}
+
+impl Codec for FaultModel {
+    fn encode(&self, w: &mut Writer) {
+        w.f64(self.dropout_rate);
+        w.f64(self.stuck_rate);
+        w.f64(self.drift_rate);
+        w.f64(self.spike_rate);
+        w.f64(self.drift_per_slot);
+        w.f64(self.spike_magnitude);
+        w.u64(self.seed);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(FaultModel {
+            dropout_rate: r.f64()?,
+            stuck_rate: r.f64()?,
+            drift_rate: r.f64()?,
+            spike_rate: r.f64()?,
+            drift_per_slot: r.f64()?,
+            spike_magnitude: r.f64()?,
+            seed: r.u64()?,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //! aggregated with the static topology T are then the features of a
 //! training sample." (Sec. IV-A)
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use aqua_hydraulics::Snapshot;
 use aqua_net::Network;
 use rand::rngs::StdRng;
@@ -33,6 +34,21 @@ impl Default for FeatureConfig {
             include_topology: true,
             faults: FaultModel::none(),
         }
+    }
+}
+
+impl Codec for FeatureConfig {
+    fn encode(&self, w: &mut Writer) {
+        self.noise.encode(w);
+        w.bool(self.include_topology);
+        self.faults.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(FeatureConfig {
+            noise: Codec::decode(r)?,
+            include_topology: r.bool()?,
+            faults: Codec::decode(r)?,
+        })
     }
 }
 

@@ -4,6 +4,7 @@
 //! (Sec. II) — modeled as additive zero-mean Gaussian noise with separate
 //! standard deviations for pressure (meters) and flow (m³/s) channels.
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -44,6 +45,19 @@ impl MeasurementNoise {
     /// A noisy flow reading of true value `q`.
     pub fn flow(&self, q: f64, rng: &mut StdRng) -> f64 {
         q + gaussian(rng) * self.flow_sigma
+    }
+}
+
+impl Codec for MeasurementNoise {
+    fn encode(&self, w: &mut Writer) {
+        w.f64(self.pressure_sigma);
+        w.f64(self.flow_sigma);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(MeasurementNoise {
+            pressure_sigma: r.f64()?,
+            flow_sigma: r.f64()?,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! Sensor sets: which nodes carry pressure transducers and which pipes
 //! carry flow meters.
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use aqua_net::{LinkId, Network, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -79,6 +80,19 @@ impl SensorSet {
     /// Deployment penetration relative to full instrumentation.
     pub fn coverage(&self, net: &Network) -> f64 {
         self.len() as f64 / (net.node_count() + net.link_count()) as f64
+    }
+}
+
+impl Codec for SensorSet {
+    fn encode(&self, w: &mut Writer) {
+        self.pressure_nodes.encode(w);
+        self.flow_links.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(SensorSet {
+            pressure_nodes: Codec::decode(r)?,
+            flow_links: Codec::decode(r)?,
+        })
     }
 }
 

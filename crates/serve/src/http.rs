@@ -1,0 +1,279 @@
+//! A minimal HTTP/1.1 request parser and response writer over blocking
+//! streams. Deliberately small: one request per connection
+//! (`Connection: close`), `Content-Length` bodies only, no chunked
+//! encoding, no keep-alive — exactly what a LAN telemetry-ingest endpoint
+//! needs and nothing more.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, ...).
+    pub method: String,
+    /// The raw request target (path plus optional query string).
+    pub target: String,
+    /// Header name/value pairs in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The path component of the target (query string stripped).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The query string, if any (without the `?`).
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending anything (normal).
+    Closed,
+    /// The request was syntactically invalid.
+    BadRequest(String),
+    /// The declared body exceeds the configured limit.
+    TooLarge {
+        /// Configured body-size ceiling in bytes.
+        limit: usize,
+    },
+    /// The underlying stream failed (includes read timeouts).
+    Io(io::Error),
+}
+
+const MAX_HEADER_LINE: usize = 8 * 1024;
+const MAX_HEADERS: usize = 100;
+
+fn read_line(r: &mut impl BufRead) -> Result<String, ReadError> {
+    let mut line = String::new();
+    // Bound the line length so a hostile peer cannot balloon memory.
+    let mut limited = r.take(MAX_HEADER_LINE as u64);
+    let n = limited.read_line(&mut line).map_err(ReadError::Io)?;
+    if n == 0 {
+        return Err(ReadError::Closed);
+    }
+    if !line.ends_with('\n') && n >= MAX_HEADER_LINE {
+        return Err(ReadError::BadRequest("header line too long".into()));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Reads and parses one request from `r`. The caller is expected to have
+/// armed a read timeout on the underlying socket.
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
+    let request_line = read_line(r)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => {
+            return Err(ReadError::BadRequest(format!(
+                "malformed request line: {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::BadRequest(format!(
+            "unsupported protocol: {version}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(r) {
+            Ok(line) => line,
+            // EOF mid-headers is malformed, not a clean close.
+            Err(ReadError::Closed) => {
+                return Err(ReadError::BadRequest("truncated headers".into()))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ReadError::BadRequest("too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::BadRequest(format!("malformed header: {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::BadRequest(format!("bad content-length: {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(ReadError::TooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).map_err(ReadError::Io)?;
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        target: target.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// One response, ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Additional headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A JSON error response with a `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            format!("{{\"error\":{}}}", crate::json::escape(message)),
+        )
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.extra_headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Serializes the response (status line, headers, body) onto `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrase for the handful of statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_get_request() {
+        let req = parse("GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/healthz");
+        assert_eq!(req.query(), Some("verbose=1"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req = parse("POST /v1/x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = "POST /v1/x HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+        assert!(matches!(
+            parse(raw),
+            Err(ReadError::TooLarge { limit: 1024 })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("ZZZZ\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_close() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn response_serializes_with_content_length_and_extra_headers() {
+        let mut out = Vec::new();
+        Response::json(503, "{}".into())
+            .with_header("Retry-After", "1".into())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

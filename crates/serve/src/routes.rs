@@ -1,0 +1,163 @@
+//! Request routing and endpoint handlers.
+//!
+//! | Method | Path                          | Purpose                         |
+//! |--------|-------------------------------|---------------------------------|
+//! | GET    | `/healthz`                    | liveness + session count        |
+//! | GET    | `/metrics`                    | live telemetry snapshot (JSON)  |
+//! | GET    | `/v1/sessions`                | hosted session ids              |
+//! | POST   | `/v1/sessions/{id}/ingest`    | batched sensor readings         |
+//! | GET    | `/v1/sessions/{id}/detections`| detection/localization results  |
+//! | POST   | `/debug/sleep/{ms}`           | hold a worker (shed/drain tests)|
+
+use aqua_core::{AquaError, SessionRegistry};
+use aqua_telemetry::TelemetryHub;
+
+use crate::http::{Request, Response};
+use crate::json::{escape, num, Json};
+
+/// Routes one request to its handler.
+pub fn handle(req: &Request, registry: &SessionRegistry, hub: &TelemetryHub) -> Response {
+    let path = req.path().to_string();
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(registry),
+        ("GET", ["metrics"]) => Response::json(200, hub.metrics_snapshot().to_json()),
+        ("GET", ["v1", "sessions"]) => sessions(registry),
+        ("POST", ["v1", "sessions", id, "ingest"]) => ingest(req, id, registry, hub),
+        ("GET", ["v1", "sessions", id, "detections"]) => detections(id, registry),
+        ("POST", ["debug", "sleep", ms]) => sleep(ms),
+        // Known paths hit with the wrong method get a 405, not a 404.
+        (_, ["healthz" | "metrics"])
+        | (_, ["v1", "sessions"])
+        | (_, ["v1", "sessions", _, "ingest" | "detections"])
+        | (_, ["debug", "sleep", _]) => Response::error(405, "method not allowed"),
+        _ => Response::error(404, &format!("no route for {}", req.path())),
+    }
+}
+
+fn healthz(registry: &SessionRegistry) -> Response {
+    Response::json(
+        200,
+        format!("{{\"status\":\"ok\",\"sessions\":{}}}", registry.len()),
+    )
+}
+
+fn sessions(registry: &SessionRegistry) -> Response {
+    let ids: Vec<String> = registry.ids().iter().map(|id| escape(id)).collect();
+    Response::json(200, format!("{{\"sessions\":[{}]}}", ids.join(",")))
+}
+
+/// One validated ingest batch: `(slot time, per-channel readings)`.
+type Batch = (u64, Vec<Option<f64>>);
+
+fn parse_batches(body: &[u8]) -> Result<Vec<Batch>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let batches = doc
+        .get("batches")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"batches\" array")?;
+    let mut out = Vec::with_capacity(batches.len());
+    for (i, batch) in batches.iter().enumerate() {
+        let time = batch
+            .get("time")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("batch {i}: missing or invalid \"time\""))?;
+        let readings = batch
+            .get("readings")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("batch {i}: missing \"readings\" array"))?;
+        let mut values = Vec::with_capacity(readings.len());
+        for (ch, reading) in readings.iter().enumerate() {
+            values.push(match reading {
+                Json::Null => None,
+                Json::Num(v) => Some(*v),
+                _ => return Err(format!("batch {i}: reading {ch} is not a number or null")),
+            });
+        }
+        out.push((time, values));
+    }
+    Ok(out)
+}
+
+fn ingest(req: &Request, id: &str, registry: &SessionRegistry, hub: &TelemetryHub) -> Response {
+    let batches = match parse_batches(&req.body) {
+        Ok(batches) => batches,
+        Err(reason) => return Response::error(400, &reason),
+    };
+    let accepted = batches.len();
+    // All batches for one session apply atomically: the shard lock is held
+    // across the whole group, so interleaved clients cannot split a batch
+    // sequence (slot order is what the delta features key on).
+    let outcome = registry.with_session(id, |session| -> Result<(usize, usize, u64), AquaError> {
+        let before = session.detections().len();
+        for (time, readings) in &batches {
+            session.ingest(*time, readings, hub.ctx())?;
+        }
+        let total = session.detections().len();
+        Ok((total - before, total, session.state().slots_observed()))
+    });
+    match outcome {
+        None => Response::error(404, &format!("no session {id:?}")),
+        Some(Err(AquaError::InvalidConfig { reason })) => Response::error(400, &reason),
+        Some(Err(e)) => Response::error(500, &e.to_string()),
+        Some(Ok((new_detections, total, slots))) => Response::json(
+            200,
+            format!(
+                "{{\"accepted\":{accepted},\"new_detections\":{new_detections},\
+                 \"detections_total\":{total},\"slots\":{slots}}}"
+            ),
+        ),
+    }
+}
+
+fn detections(id: &str, registry: &SessionRegistry) -> Response {
+    let body = registry.with_session(id, |session| {
+        let mut entries = Vec::with_capacity(session.detections().len());
+        for d in session.detections() {
+            let nodes: Vec<String> = d
+                .leak_nodes
+                .iter()
+                .map(|&n| escape(&session.network().node(n).name))
+                .collect();
+            let quarantined: Vec<String> = d.quarantined.iter().map(|q| q.to_string()).collect();
+            entries.push(format!(
+                "{{\"time\":{},\"leak_nodes\":[{}],\"latency_s\":{},\"quarantined\":[{}]}}",
+                d.time,
+                nodes.join(","),
+                num(d.latency.as_secs_f64()),
+                quarantined.join(",")
+            ));
+        }
+        let quarantined: Vec<String> = session
+            .state()
+            .quarantined_channels()
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
+        format!(
+            "{{\"session\":{},\"network\":{},\"slots\":{},\"channels\":{},\
+             \"quarantined\":[{}],\"detections\":[{}]}}",
+            escape(id),
+            escape(session.network().name()),
+            session.state().slots_observed(),
+            session.channels(),
+            quarantined.join(","),
+            entries.join(",")
+        )
+    });
+    match body {
+        None => Response::error(404, &format!("no session {id:?}")),
+        Some(body) => Response::json(200, body),
+    }
+}
+
+fn sleep(ms: &str) -> Response {
+    let Ok(ms) = ms.parse::<u64>() else {
+        return Response::error(400, "sleep duration must be an integer (milliseconds)");
+    };
+    // Cap so a stray request cannot wedge a worker for long.
+    let ms = ms.min(10_000);
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+    Response::json(200, format!("{{\"slept_ms\":{ms}}}"))
+}

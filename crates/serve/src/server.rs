@@ -1,0 +1,218 @@
+//! The threaded HTTP server: one acceptor, a fixed worker pool, a bounded
+//! connection queue in between.
+//!
+//! Backpressure policy: the acceptor never blocks on the workers. When the
+//! queue is full the connection is answered inline with `503` +
+//! `Retry-After` and closed — overload sheds requests, it never grows
+//! memory or latency without bound, and `/metrics` reports the shed count
+//! (`serve.http.shed`). Shutdown is graceful: the acceptor stops taking
+//! connections, queued requests drain through the workers, then the
+//! threads join.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aqua_core::SessionRegistry;
+use aqua_telemetry::TelemetryHub;
+
+use crate::http::{self, ReadError, Response};
+use crate::pool::BoundedQueue;
+use crate::routes;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (tests).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Connections queued ahead of the workers before shedding starts.
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// `Retry-After` seconds advertised on shed (`503`) responses.
+    pub retry_after_s: u64,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retry_after_s: 1,
+            max_body_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) drains
+/// queued connections and joins every thread.
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. The server holds shared handles to the
+    /// session registry (ingest/query state) and the telemetry hub
+    /// (`/metrics` and request accounting).
+    pub fn start(
+        registry: Arc<SessionRegistry>,
+        hub: Arc<TelemetryHub>,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let registry = Arc::clone(&registry);
+                let hub = Arc::clone(&hub);
+                let max_body = config.max_body_bytes;
+                std::thread::spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        handle_connection(stream, &registry, &hub, max_body);
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let stop = Arc::clone(&stop);
+            let hub = Arc::clone(&hub);
+            let read_timeout = config.read_timeout;
+            let write_timeout = config.write_timeout;
+            let retry_after = config.retry_after_s;
+            std::thread::spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stop.load(Ordering::SeqCst) {
+                            // The wake-up connection (or a late client);
+                            // either way, stop accepting.
+                            break;
+                        }
+                        let _ = stream.set_read_timeout(Some(read_timeout));
+                        let _ = stream.set_write_timeout(Some(write_timeout));
+                        if let Err(stream) = queue.try_push(stream) {
+                            shed(stream, &hub, retry_after);
+                        }
+                    }
+                    Err(_) => {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(Server {
+            local_addr,
+            stop,
+            queue,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued connections through
+    /// the workers, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_drain();
+    }
+
+    fn stop_and_drain(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Close the queue: workers finish what is queued, then exit.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_drain();
+    }
+}
+
+/// Answers a connection the queue would not take: `503` + `Retry-After`,
+/// written inline from the acceptor (never blocks on a worker).
+fn shed(mut stream: TcpStream, hub: &TelemetryHub, retry_after_s: u64) {
+    hub.add("serve.http.shed", 1);
+    let response = Response::error(503, "server overloaded, retry shortly")
+        .with_header("Retry-After", retry_after_s.to_string());
+    let _ = response.write_to(&mut stream);
+    // Closing with unread request bytes in the socket would RST the
+    // connection and can discard the 503 before the client reads it.
+    // Signal end-of-response, then drain the request until the client
+    // closes — briefly and boundedly, since this runs on the acceptor.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..256 {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Serves one request on one connection (`Connection: close` throughout).
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &SessionRegistry,
+    hub: &TelemetryHub,
+    max_body: usize,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let started = Instant::now();
+    let response = match http::read_request(&mut reader, max_body) {
+        Ok(request) => routes::handle(&request, registry, hub),
+        // A clean disconnect or a socket error mid-read: nothing to answer.
+        Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+        Err(ReadError::BadRequest(reason)) => Response::error(400, &reason),
+        Err(ReadError::TooLarge { limit }) => {
+            Response::error(413, &format!("body exceeds {limit} bytes"))
+        }
+    };
+    hub.add("serve.http.requests", 1);
+    hub.observe("serve.http.latency_s", started.elapsed().as_secs_f64());
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}

@@ -4,6 +4,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use aqua_artifact as artifact;
 pub use aqua_core as core;
 pub use aqua_flood as flood;
 pub use aqua_fusion as fusion;
@@ -11,4 +12,5 @@ pub use aqua_hydraulics as hydraulics;
 pub use aqua_ml as ml;
 pub use aqua_net as net;
 pub use aqua_sensing as sensing;
+pub use aqua_serve as serve;
 pub use aqua_telemetry as telemetry;
