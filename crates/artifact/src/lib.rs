@@ -42,7 +42,11 @@ pub const MAGIC: &[u8; 8] = b"AQUAPROF";
 
 /// Current container format version. Bump on any incompatible layout
 /// change; readers reject every other version.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 — initial layout; v2 — tree configs gained a split-strategy
+/// field and gradient boosting gained early-stopping state (ml crate
+/// histogram training rework).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why an artifact failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,221 @@
+//! Training throughput — histogram-binned gradient boosting with early
+//! stopping vs the exact sorted-scan reference (DESIGN.md §10).
+//!
+//! Runs Phase I twice per evaluation network on an identical pre-built
+//! corpus: once with `GradientBoostingConfig::exact_reference()` (exact
+//! splits, fixed stage budget — the pre-rework behaviour) and once with
+//! the current defaults (shared 256-bin histogram splits + deterministic
+//! early stopping). Reports per-network training seconds, speedup, and
+//! held-out hamming parity.
+//!
+//! Acceptance (checked at the default scale and above, skipped under
+//! `AQUA_SMOKE=1` where wall clocks are noise): the binned trainer is
+//! ≥ 5× faster on both networks at no more than 0.02 hamming cost.
+//!
+//! Emits `BENCH_train.json`.
+//!
+//! Run with: `cargo run --release -p aqua-bench --bin fig_train`
+//! (`AQUA_SMOKE=1` for the CI smoke scale, `AQUA_PAPER_SCALE=1` for the
+//! paper-scale corpus).
+
+use std::time::Instant;
+
+use aqua_bench::{f3, print_table, run_scale, write_bench_json};
+use aqua_core::{AquaScale, AquaScaleConfig};
+use aqua_ml::metrics::hamming_score;
+use aqua_ml::{GradientBoostingConfig, ModelKind};
+use aqua_net::{synth, Network};
+use aqua_sensing::LeakDataset;
+
+const SEED: u64 = 42;
+const EVAL_SEED: u64 = 0xE7A1;
+const THREADS: usize = 8;
+/// Binned training must be at least this much faster than exact.
+const SPEEDUP_TARGET: f64 = 5.0;
+/// ... while giving up no more than this much held-out hamming score.
+const PARITY_TOLERANCE: f64 = 0.02;
+
+fn smoke() -> bool {
+    std::env::var("AQUA_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+struct Arm {
+    name: &'static str,
+    train_s: f64,
+    hamming: f64,
+}
+
+/// Phase I + held-out Phase II for one model family on a shared corpus.
+fn run_arm(
+    name: &'static str,
+    net: &Network,
+    model: ModelKind,
+    train: &LeakDataset,
+    eval: &LeakDataset,
+) -> Arm {
+    let config = AquaScaleConfig {
+        model,
+        threads: THREADS,
+        seed: SEED,
+        ..Default::default()
+    };
+    let aqua = AquaScale::new(net, config);
+    let start = Instant::now();
+    let profile = aqua.train_profile_on(train).expect("phase I");
+    let train_s = start.elapsed().as_secs_f64();
+    let pred = aqua.predict_batch(&profile, &eval.x).expect("phase II");
+    Arm {
+        name,
+        train_s,
+        hamming: hamming_score(&pred, &eval.labels),
+    }
+}
+
+struct NetResult {
+    network: &'static str,
+    exact: Arm,
+    binned: Arm,
+}
+
+impl NetResult {
+    fn speedup(&self) -> f64 {
+        self.exact.train_s / self.binned.train_s
+    }
+
+    fn parity_met(&self) -> bool {
+        self.binned.hamming >= self.exact.hamming - PARITY_TOLERANCE
+    }
+}
+
+fn main() {
+    let bench_start = Instant::now();
+    let scale = if smoke() {
+        aqua_bench::RunScale {
+            train: 250,
+            test: 40,
+        }
+    } else {
+        run_scale(1_500, 150)
+    };
+
+    let nets: [(&'static str, Network); 2] = [
+        ("EPA-NET", synth::epa_net()),
+        ("WSSC", synth::wssc_subnet()),
+    ];
+    let mut results = Vec::new();
+    for (network, net) in &nets {
+        // One corpus per network, shared by both arms: the comparison is
+        // pure training cost, never solver or sampling variance.
+        let corpus_rig = AquaScale::new(
+            net,
+            AquaScaleConfig {
+                threads: THREADS,
+                seed: SEED,
+                ..Default::default()
+            },
+        );
+        let train = corpus_rig
+            .generate_dataset(scale.train, SEED)
+            .expect("train corpus");
+        let eval = corpus_rig
+            .generate_dataset(scale.test, EVAL_SEED)
+            .expect("eval corpus");
+
+        let exact = run_arm(
+            "exact",
+            net,
+            ModelKind::GradientBoosting {
+                config: GradientBoostingConfig::exact_reference(),
+            },
+            &train,
+            &eval,
+        );
+        let binned = run_arm("binned", net, ModelKind::gradient_boosting(), &train, &eval);
+        results.push(NetResult {
+            network,
+            exact,
+            binned,
+        });
+    }
+
+    let mut rows = Vec::new();
+    for r in &results {
+        for arm in [&r.exact, &r.binned] {
+            rows.push(vec![
+                r.network.to_string(),
+                arm.name.to_string(),
+                format!("{:.3}", arm.train_s),
+                f3(arm.hamming),
+            ]);
+        }
+        rows.push(vec![
+            r.network.to_string(),
+            "speedup".to_string(),
+            format!("{:.2}x", r.speedup()),
+            if r.parity_met() {
+                "parity ok"
+            } else {
+                "PARITY LOST"
+            }
+            .to_string(),
+        ]);
+    }
+    print_table(
+        "Training throughput: binned+early-stop GB vs exact reference",
+        &["network", "arm", "train_s", "hamming"],
+        &rows,
+    );
+
+    let speedup_met = results.iter().all(|r| r.speedup() >= SPEEDUP_TARGET);
+    let parity_met = results.iter().all(NetResult::parity_met);
+    let per_net = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"network\": {:?}, \"train_samples\": {}, \"exact_s\": {:.3}, \
+                 \"binned_s\": {:.3}, \"speedup\": {:.2}, \"hamming_exact\": {:.4}, \
+                 \"hamming_binned\": {:.4}}}",
+                r.network,
+                scale.train,
+                r.exact.train_s,
+                r.binned.train_s,
+                r.speedup(),
+                r.exact.hamming,
+                r.binned.hamming
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let metrics = format!(
+        "{{\"networks\": [{per_net}], \
+         \"acceptance\": {{\"speedup_target\": {SPEEDUP_TARGET}, \
+         \"speedup_met\": {speedup_met}, \
+         \"parity_tolerance\": {PARITY_TOLERANCE}, \"parity_met\": {parity_met}, \
+         \"smoke\": {}}}}}",
+        smoke()
+    );
+    write_bench_json(
+        "BENCH_train.json",
+        "fig_train",
+        bench_start.elapsed().as_secs_f64(),
+        &metrics,
+    );
+    println!("wrote BENCH_train.json");
+
+    // Smoke runs exercise the path; only real scales assert wall-clock
+    // acceptance.
+    if !smoke() {
+        assert!(
+            speedup_met,
+            "binned training speedup under {SPEEDUP_TARGET}x: {}",
+            results
+                .iter()
+                .map(|r| format!("{} {:.2}x", r.network, r.speedup()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        assert!(parity_met, "binned training lost hamming parity");
+    }
+}

@@ -476,6 +476,40 @@ mod tests {
     }
 
     #[test]
+    fn histogram_families_share_one_binning_pass_under_phase1() {
+        let net = synth::epa_net();
+        let hub = aqua_telemetry::TelemetryHub::new();
+        let mut config = quick_config(ModelKind::gradient_boosting());
+        config.train_samples = 40;
+        let aqua = AquaScale::new(&net, config).with_telemetry(hub.ctx());
+        aqua.train_profile().unwrap();
+
+        // The shared corpus quantization runs exactly once, inside the
+        // training span of Phase I — never once per output.
+        let tree = hub.span_tree();
+        let phase1 = tree.iter().find(|s| s.name == "core.phase1").unwrap();
+        let train = phase1.find("ml.train").unwrap();
+        assert_eq!(
+            train
+                .children
+                .iter()
+                .filter(|s| s.name == "ml.train.bin")
+                .count(),
+            1,
+            "one shared ml.train.bin span under ml.train"
+        );
+        // And every per-output fit is accounted for in the event stream.
+        let events = hub.drain_events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "ml.train.output")
+                .count(),
+            91
+        );
+    }
+
+    #[test]
     fn zero_samples_rejected() {
         let net = synth::epa_net();
         let aqua = AquaScale::new(&net, AquaScaleConfig::small());

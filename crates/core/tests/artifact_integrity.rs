@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use aqua_core::{AquaScale, AquaScaleConfig, ExternalObservations, ProfileArtifact};
-use aqua_ml::ModelKind;
+use aqua_ml::{GradientBoostingConfig, ModelKind};
 use aqua_net::synth;
 use aqua_sensing::{FeatureConfig, MeasurementNoise};
 use proptest::prelude::*;
@@ -31,9 +31,40 @@ fn fixture_artifact() -> ProfileArtifact {
     ProfileArtifact::capture(&aqua, profile)
 }
 
+/// A second fixture exercising the binned model state: gradient boosting
+/// with histogram splits and early stopping (small stage budget to keep
+/// the fixture and the test fast).
+fn fixture_artifact_gb() -> ProfileArtifact {
+    let net = synth::epa_net();
+    let config = AquaScaleConfig {
+        model: ModelKind::GradientBoosting {
+            config: GradientBoostingConfig {
+                n_stages: 8,
+                max_depth: 2,
+                ..GradientBoostingConfig::default()
+            },
+        },
+        train_samples: 40,
+        features: FeatureConfig {
+            noise: MeasurementNoise::none(),
+            ..FeatureConfig::default()
+        },
+        threads: 4,
+        ..AquaScaleConfig::default()
+    };
+    let aqua = AquaScale::new(&net, config);
+    let profile = aqua.train_profile().expect("train");
+    ProfileArtifact::capture(&aqua, profile)
+}
+
 fn artifact_bytes() -> &'static [u8] {
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
     BYTES.get_or_init(|| fixture_artifact().to_bytes())
+}
+
+fn gb_artifact_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| fixture_artifact_gb().to_bytes())
 }
 
 fn fixture_path() -> PathBuf {
@@ -41,6 +72,13 @@ fn fixture_path() -> PathBuf {
         .join("tests")
         .join("fixtures")
         .join("epa_linear.aquaprof")
+}
+
+fn gb_fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("epa_gb_binned.aquaprof")
 }
 
 proptest! {
@@ -69,6 +107,63 @@ fn truncation_at_any_boundary_is_rejected() {
             "truncation to {cut} bytes must not decode"
         );
     }
+}
+
+#[test]
+fn binned_gb_artifact_rejects_corruption_and_truncation() {
+    let bytes = gb_artifact_bytes();
+    // Deterministic single-bit corruption sweep over spread-out positions
+    // (the CRC-protected container catches every one).
+    let stride = (bytes.len() / 64).max(1);
+    for pos in (0..bytes.len()).step_by(stride) {
+        let mut corrupted = bytes.to_vec();
+        corrupted[pos] ^= 0x10;
+        assert!(
+            ProfileArtifact::from_bytes(&corrupted).is_err(),
+            "bit flip at byte {pos} must not decode"
+        );
+    }
+    for cut in [0, 12, 20, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            ProfileArtifact::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes must not decode"
+        );
+    }
+}
+
+#[test]
+fn binned_gb_golden_fixture_still_decodes_and_reencodes_identically() {
+    let pinned = std::fs::read(gb_fixture_path())
+        .expect("GB golden fixture present (regenerate with -- --ignored)");
+    let artifact = ProfileArtifact::from_bytes(&pinned).expect("GB golden fixture decodes");
+    assert_eq!(artifact.network_id, "EPA-NET");
+    assert_eq!(artifact.train_samples, 40);
+    assert_eq!(
+        artifact.to_bytes(),
+        pinned,
+        "re-encoding the GB golden fixture must reproduce it byte for byte"
+    );
+
+    // Save → load → predict is bitwise stable: the decoded profile's
+    // probabilities on a fixed row match a second decode of the same bytes.
+    let net = synth::epa_net();
+    let profile = artifact.into_profile();
+    let features = vec![0.0; profile.sensors.len() + 16];
+    let aqua = AquaScale::new(&net, AquaScaleConfig::default());
+    let p_a = aqua
+        .infer(&profile, &features, &ExternalObservations::none())
+        .expect("inference")
+        .p1;
+    let profile_b = ProfileArtifact::from_bytes(&pinned)
+        .expect("second decode")
+        .into_profile();
+    let p_b = aqua
+        .infer(&profile_b, &features, &ExternalObservations::none())
+        .expect("inference")
+        .p1;
+    let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&p_a), bits(&p_b));
+    assert!(p_a.iter().all(|p| p.is_finite()));
 }
 
 #[test]
@@ -114,5 +209,8 @@ fn regenerate_golden_fixture() {
     let path = fixture_path();
     std::fs::create_dir_all(path.parent().unwrap()).unwrap();
     std::fs::write(&path, artifact_bytes()).unwrap();
+    eprintln!("wrote {}", path.display());
+    let path = gb_fixture_path();
+    std::fs::write(&path, gb_artifact_bytes()).unwrap();
     eprintln!("wrote {}", path.display());
 }

@@ -74,6 +74,20 @@ fn epa_net_hybrid_rsl_roundtrip_is_lossless() {
 }
 
 #[test]
+fn epa_net_binned_gb_roundtrip_is_lossless() {
+    // Gradient boosting with its default histogram splits + early stopping:
+    // exercises the new binned-training codec state (split strategy and
+    // early-stopping knobs inside every per-output model).
+    let config = AquaScaleConfig {
+        model: ModelKind::gradient_boosting(),
+        train_samples: 60,
+        threads: 4,
+        ..AquaScaleConfig::default()
+    };
+    roundtrip_is_bitwise_lossless(synth::epa_net(), config, 24);
+}
+
+#[test]
 fn wssc_subnet_roundtrip_is_lossless() {
     // The larger WSSC evaluation network (~300 junctions). A linear scorer
     // keeps 298 per-node fits fast while still exercising scale.

@@ -1,0 +1,229 @@
+//! Histogram binning: a structure-of-arrays, read-only view of a feature
+//! matrix quantized to ≤256 per-feature bins.
+//!
+//! LightGBM-style histogram split finding replaces the exact sorted scan
+//! (`O(n log n)` per feature per node, with a fresh allocation each time)
+//! with a one-off quantization pass followed by `O(n + B)` gradient
+//! accumulation per feature per node. The quantization is paid **once per
+//! corpus**: [`MultiOutputModel`](crate::MultiOutputModel) builds a single
+//! [`BinnedDataset`] and shares it read-only across all per-node
+//! classifiers, so the 91+ output fits of a water-network profile reuse the
+//! same u8 codes.
+//!
+//! Bin boundaries are placed between *distinct observed values* (midpoints,
+//! exactly like the exact scan's candidate thresholds). When a feature has
+//! no more distinct values than the bin budget, the histogram candidate set
+//! equals the exact candidate set and both split finders agree; beyond the
+//! budget, boundaries are placed at equal-frequency quantiles.
+
+use crate::matrix::Matrix;
+
+/// Hard cap on bins per feature: codes must fit a `u8`.
+pub const MAX_BINS: u16 = 256;
+
+/// A quantized, feature-major (structure-of-arrays) view of a [`Matrix`].
+///
+/// For feature `f`, `uppers[f]` holds the ascending split thresholds
+/// between adjacent bins (`bins(f) - 1` of them) and every sample carries a
+/// u8 bin code such that `code(f, i) <= b` **iff**
+/// `x[i][f] <= uppers[f][b]` — trees grown on codes therefore store real
+/// `f64` thresholds and predict on raw, un-binned feature rows.
+#[derive(Debug, Clone)]
+pub struct BinnedDataset {
+    n_rows: usize,
+    /// Per-feature ascending thresholds between adjacent bins.
+    uppers: Vec<Vec<f64>>,
+    /// Feature-major codes: `codes[f * n_rows + i]`.
+    codes: Vec<u8>,
+    max_bins: u16,
+}
+
+impl BinnedDataset {
+    /// Quantizes `x` with at most `max_bins` bins per feature (clamped to
+    /// `2..=256`). Cost: one sort per feature; the result is immutable and
+    /// safely shared across threads.
+    pub fn build(x: &Matrix, max_bins: u16) -> BinnedDataset {
+        let max_bins = max_bins.clamp(2, MAX_BINS) as usize;
+        let n = x.rows();
+        let d = x.cols();
+        let mut uppers = Vec::with_capacity(d);
+        let mut codes = vec![0u8; d * n];
+        let mut sorted: Vec<f64> = Vec::with_capacity(n);
+        for f in 0..d {
+            sorted.clear();
+            sorted.extend((0..n).map(|i| x.get(i, f)));
+            sorted.sort_unstable_by(f64::total_cmp);
+            let cuts = quantile_cuts(&sorted, max_bins);
+            let col = &mut codes[f * n..(f + 1) * n];
+            for (i, code) in col.iter_mut().enumerate() {
+                let v = x.get(i, f);
+                // Number of thresholds strictly below v == the bin index.
+                *code = cuts.partition_point(|&t| t < v) as u8;
+            }
+            uppers.push(cuts);
+        }
+        BinnedDataset {
+            n_rows: n,
+            uppers,
+            codes,
+            max_bins: max_bins as u16,
+        }
+    }
+
+    /// Number of quantized samples.
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features.
+    pub fn features(&self) -> usize {
+        self.uppers.len()
+    }
+
+    /// The bin budget this dataset was built with.
+    pub fn max_bins(&self) -> u16 {
+        self.max_bins
+    }
+
+    /// Bin count of feature `f` (≥1; constant features have a single bin).
+    pub fn bins(&self, f: usize) -> usize {
+        self.uppers[f].len() + 1
+    }
+
+    /// The raw-value threshold of the boundary after bin `b` of feature
+    /// `f`: samples with `code <= b` satisfy `value <= threshold(f, b)`.
+    pub(crate) fn threshold(&self, f: usize, b: usize) -> f64 {
+        self.uppers[f][b]
+    }
+
+    /// The u8 codes of feature `f`, sample-indexed.
+    pub(crate) fn feature_codes(&self, f: usize) -> &[u8] {
+        &self.codes[f * self.n_rows..(f + 1) * self.n_rows]
+    }
+
+    /// Largest bin count over all features (histogram scratch sizing).
+    pub(crate) fn widest(&self) -> usize {
+        self.uppers.iter().map(|u| u.len() + 1).max().unwrap_or(1)
+    }
+}
+
+/// Chooses ascending split thresholds from a sorted value column: midpoints
+/// between consecutive distinct values, thinned to equal-frequency
+/// quantiles when there are more distinct values than the bin budget.
+fn quantile_cuts(sorted: &[f64], max_bins: usize) -> Vec<f64> {
+    let n = sorted.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Run-length encode the distinct values.
+    let mut runs: Vec<(f64, usize)> = Vec::new();
+    for &v in sorted {
+        match runs.last_mut() {
+            // total_cmp equality keeps -0.0/0.0 and NaN runs coherent.
+            Some((last, c)) if last.total_cmp(&v).is_eq() => *c += 1,
+            _ => runs.push((v, 1)),
+        }
+    }
+    if runs.len() <= 1 {
+        return Vec::new(); // constant feature: one bin, no candidate splits
+    }
+    if runs.len() <= max_bins {
+        // Every distinct value gets its own bin: candidate thresholds are
+        // exactly the exact scan's midpoints.
+        return runs.windows(2).map(|w| (w[0].0 + w[1].0) / 2.0).collect();
+    }
+    // Equal-frequency thinning: cut after a distinct value once the
+    // cumulative count crosses the next quantile rank.
+    let mut cuts = Vec::with_capacity(max_bins - 1);
+    let mut cum = 0usize;
+    for w in runs.windows(2) {
+        cum += w[0].1;
+        let next_rank = (cuts.len() + 1) as f64 * n as f64 / max_bins as f64;
+        if cuts.len() < max_bins - 1 && cum as f64 >= next_rank {
+            cuts.push((w[0].0 + w[1].0) / 2.0);
+        }
+    }
+    cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column_matrix(vals: &[f64]) -> Matrix {
+        Matrix::from_vec_rows(vals.iter().map(|&v| vec![v]).collect())
+    }
+
+    #[test]
+    fn few_distinct_values_get_exact_midpoint_thresholds() {
+        let x = column_matrix(&[3.0, 1.0, 2.0, 1.0, 3.0]);
+        let b = BinnedDataset::build(&x, 256);
+        assert_eq!(b.bins(0), 3);
+        assert_eq!(b.uppers[0], vec![1.5, 2.5]);
+        let codes = b.feature_codes(0);
+        assert_eq!(codes, &[2, 0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn code_threshold_contract_holds() {
+        // code(v) <= b  iff  v <= threshold(b), for every sample and bin.
+        let vals: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 * 0.3).collect();
+        let x = column_matrix(&vals);
+        for budget in [2u16, 7, 64, 256] {
+            let b = BinnedDataset::build(&x, budget);
+            assert!(b.bins(0) <= budget as usize);
+            let codes = b.feature_codes(0);
+            for (i, &v) in vals.iter().enumerate() {
+                for bin in 0..b.bins(0) - 1 {
+                    assert_eq!(
+                        codes[i] as usize <= bin,
+                        v <= b.threshold(0, bin),
+                        "budget {budget} sample {i} bin {bin}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_frequency_bins_are_roughly_balanced() {
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let x = column_matrix(&vals);
+        let b = BinnedDataset::build(&x, 10);
+        assert_eq!(b.bins(0), 10);
+        let mut counts = [0usize; 10];
+        for &c in b.feature_codes(0) {
+            counts[c as usize] += 1;
+        }
+        for (bin, &c) in counts.iter().enumerate() {
+            assert!((80..=120).contains(&c), "bin {bin} holds {c} samples");
+        }
+    }
+
+    #[test]
+    fn constant_feature_collapses_to_one_bin() {
+        let x = column_matrix(&[4.2; 17]);
+        let b = BinnedDataset::build(&x, 256);
+        assert_eq!(b.bins(0), 1);
+        assert!(b.feature_codes(0).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn zero_column_matrix_is_tolerated() {
+        let mut x = Matrix::with_cols(0);
+        x.push_row(&[]);
+        let b = BinnedDataset::build(&x, 16);
+        assert_eq!(b.features(), 0);
+        assert_eq!(b.rows(), 1);
+    }
+
+    #[test]
+    fn codes_fit_u8_at_the_256_bin_cap() {
+        let vals: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let x = column_matrix(&vals);
+        let b = BinnedDataset::build(&x, 256);
+        assert_eq!(b.bins(0), 256);
+        assert_eq!(b.widest(), 256);
+        assert_eq!(*b.feature_codes(0).iter().max().unwrap(), 255);
+    }
+}

@@ -2,6 +2,7 @@
 
 use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 
+use crate::binned::BinnedDataset;
 use crate::boosting::{GradientBoosting, GradientBoostingConfig};
 use crate::error::MlError;
 use crate::forest::{RandomForest, RandomForestConfig};
@@ -25,6 +26,22 @@ pub trait Classifier: Send {
     /// [`MlError::EmptyTrainingSet`] on empty input. Single-class training
     /// sets are legal: the model degenerates to a constant predictor.
     fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), MlError>;
+
+    /// Fits with a pre-built, shared [`BinnedDataset`] over the same `x`.
+    ///
+    /// Tree-based families use `binned` for histogram split finding when
+    /// their configuration asks for it, avoiding a per-output re-binning
+    /// pass inside [`crate::MultiOutputModel`]. The default implementation
+    /// ignores `binned` and delegates to [`fit`](Self::fit) — correct for
+    /// every family without histogram training.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`fit`](Self::fit).
+    fn fit_binned(&mut self, x: &Matrix, y: &[u8], binned: &BinnedDataset) -> Result<(), MlError> {
+        let _ = binned;
+        self.fit(x, y)
+    }
 
     /// Probability of the positive class per row of `x`.
     ///
@@ -147,6 +164,20 @@ impl ModelKind {
             ModelKind::Svm { .. } => "SVM",
             ModelKind::DecisionTree { .. } => "CART",
             ModelKind::HybridRsl { .. } => "HybridRSL",
+        }
+    }
+
+    /// The histogram bin budget this family would train with, or `None`
+    /// when it uses no histogram split finding. [`crate::MultiOutputModel`]
+    /// uses this to decide whether to build one shared [`BinnedDataset`]
+    /// up front.
+    pub fn histogram_bins(&self) -> Option<u16> {
+        match self {
+            ModelKind::GradientBoosting { config } => config.split.bins(),
+            ModelKind::RandomForest { config } => config.tree.split.bins(),
+            ModelKind::DecisionTree { config } => config.split.bins(),
+            ModelKind::HybridRsl { config } => config.forest.tree.split.bins(),
+            _ => None,
         }
     }
 

@@ -48,6 +48,32 @@ pub fn train_test_split(
     )
 }
 
+/// Deterministically splits `0..n` into `(train, holdout)` index sets.
+///
+/// The permutation depends only on `(n, seed)`, so any two calls — from any
+/// thread — agree exactly; gradient boosting uses this for its
+/// early-stopping holdout. `fraction` is clamped so both sides keep at
+/// least one index. Both returned sets are sorted ascending.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn holdout_indices(n: usize, fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(n >= 2, "need at least two samples to hold out");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        idx.swap(i, rng.random_range(0..=i));
+    }
+    let n_holdout = ((n as f64 * fraction).round() as usize).clamp(1, n - 1);
+    let (holdout, train) = idx.split_at(n_holdout);
+    let mut holdout = holdout.to_vec();
+    let mut train = train.to_vec();
+    holdout.sort_unstable();
+    train.sort_unstable();
+    (train, holdout)
+}
+
 /// Per-feature standardization (zero mean, unit variance) fitted on training
 /// data and applied to any matrix — constant features pass through
 /// unchanged.
@@ -183,6 +209,25 @@ mod tests {
         let (a, _, _, _) = train_test_split(&x, &labels, 0.2, 3);
         let (b, _, _, _) = train_test_split(&x, &labels, 0.2, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn holdout_indices_partition_and_are_deterministic() {
+        let (train, hold) = holdout_indices(50, 0.2, 7);
+        assert_eq!(hold.len(), 10);
+        assert_eq!(train.len(), 40);
+        let mut all: Vec<usize> = train.iter().chain(hold.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<usize>>());
+        assert_eq!(holdout_indices(50, 0.2, 7), (train, hold));
+        assert_ne!(holdout_indices(50, 0.2, 8).1, holdout_indices(50, 0.2, 7).1);
+    }
+
+    #[test]
+    fn holdout_keeps_both_sides_nonempty() {
+        let (train, hold) = holdout_indices(2, 0.9, 0);
+        assert_eq!(train.len(), 1);
+        assert_eq!(hold.len(), 1);
     }
 
     #[test]

@@ -4,11 +4,12 @@ use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::binned::BinnedDataset;
 use crate::classifier::util::{balanced_indices, check_fit, check_predict};
 use crate::classifier::Classifier;
 use crate::error::MlError;
 use crate::matrix::Matrix;
-use crate::tree::{Criterion, DecisionTreeConfig, GrownTree};
+use crate::tree::{Criterion, DecisionTreeConfig, GrownTree, SplitStrategy};
 
 /// Hyperparameters for [`RandomForest`].
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +32,7 @@ impl Default for RandomForestConfig {
                 min_samples_split: 4,
                 max_features: None,
                 balance_classes: false, // balancing handled at the bootstrap
+                split: SplitStrategy::histogram(),
             },
             balance_classes: true,
         }
@@ -72,8 +74,15 @@ impl Default for RandomForest {
     }
 }
 
-impl Classifier for RandomForest {
-    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), MlError> {
+impl RandomForest {
+    /// Shared fit body; `shared` is an optional pre-built binned view of
+    /// `x`.
+    fn fit_impl(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        shared: Option<&BinnedDataset>,
+    ) -> Result<(), MlError> {
         check_fit(x, y)?;
         let targets: Vec<f64> = y.iter().map(|&v| v as f64).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -88,6 +97,16 @@ impl Classifier for RandomForest {
             tree_config.max_features = Some(sqrt_features);
         }
 
+        let owned: BinnedDataset;
+        let binned: Option<&BinnedDataset> = match (tree_config.split.bins(), shared) {
+            (None, _) => None,
+            (Some(_), Some(b)) => Some(b),
+            (Some(bins), None) => {
+                owned = BinnedDataset::build(x, bins);
+                Some(&owned)
+            }
+        };
+
         self.trees = (0..self.config.n_trees)
             .map(|t| {
                 let mut tree_rng = StdRng::seed_from_u64(
@@ -97,18 +116,38 @@ impl Classifier for RandomForest {
                 let sample: Vec<usize> = (0..base.len())
                     .map(|_| base[tree_rng.random_range(0..base.len())])
                     .collect();
-                GrownTree::grow(
-                    x,
-                    &targets,
-                    &sample,
-                    Criterion::Gini,
-                    &tree_config,
-                    &mut tree_rng,
-                )
+                match binned {
+                    Some(b) => GrownTree::grow_binned(
+                        b,
+                        &targets,
+                        &sample,
+                        Criterion::Gini,
+                        &tree_config,
+                        &mut tree_rng,
+                    ),
+                    None => GrownTree::grow(
+                        x,
+                        &targets,
+                        &sample,
+                        Criterion::Gini,
+                        &tree_config,
+                        &mut tree_rng,
+                    ),
+                }
             })
             .collect();
         self.n_features = Some(x.cols());
         Ok(())
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), MlError> {
+        self.fit_impl(x, y, None)
+    }
+
+    fn fit_binned(&mut self, x: &Matrix, y: &[u8], binned: &BinnedDataset) -> Result<(), MlError> {
+        self.fit_impl(x, y, Some(binned))
     }
 
     fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {

@@ -9,6 +9,7 @@
 
 use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 
+use crate::binned::BinnedDataset;
 use crate::classifier::Classifier;
 use crate::error::MlError;
 use crate::forest::{RandomForest, RandomForestConfig};
@@ -76,6 +77,17 @@ impl Default for HybridRsl {
 impl Classifier for HybridRsl {
     fn fit(&mut self, x: &Matrix, y: &[u8]) -> Result<(), MlError> {
         self.forest.fit(x, y)?;
+        self.svm.fit(x, y)?;
+        let meta = self.meta_features(x)?;
+        self.fusion.fit(&meta, y)?;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn fit_binned(&mut self, x: &Matrix, y: &[u8], binned: &BinnedDataset) -> Result<(), MlError> {
+        // Only the forest base learner grows trees; SVM and the fusion
+        // layer train on raw features / meta-probabilities.
+        self.forest.fit_binned(x, y, binned)?;
         self.svm.fit(x, y)?;
         let meta = self.meta_features(x)?;
         self.fusion.fit(&meta, y)?;

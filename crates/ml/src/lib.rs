@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod binned;
 mod boosting;
 mod classifier;
 mod dataset;
@@ -42,9 +43,10 @@ mod multioutput;
 mod svm;
 mod tree;
 
-pub use boosting::{GradientBoosting, GradientBoostingConfig};
+pub use binned::{BinnedDataset, MAX_BINS};
+pub use boosting::{EarlyStopping, GradientBoosting, GradientBoostingConfig};
 pub use classifier::{Classifier, ModelKind};
-pub use dataset::{train_test_split, Scaler};
+pub use dataset::{holdout_indices, train_test_split, Scaler};
 pub use error::MlError;
 pub use forest::{RandomForest, RandomForestConfig};
 pub use hybrid::{HybridRsl, HybridRslConfig};
@@ -52,4 +54,4 @@ pub use linear::{LinearRegressionClassifier, LogisticRegression, LogisticRegress
 pub use matrix::Matrix;
 pub use multioutput::MultiOutputModel;
 pub use svm::{LinearSvm, LinearSvmConfig};
-pub use tree::{DecisionTree, DecisionTreeConfig};
+pub use tree::{DecisionTree, DecisionTreeConfig, SplitStrategy};

@@ -4,12 +4,24 @@
 //! "Due to the mutual independence of labels, the problem is then
 //! transformed to multiple binary classifications where a binary classifier
 //! is trained for each node independently" (Sec. III-B). Training is
-//! parallelized across outputs with scoped threads.
+//! parallelized across outputs with scoped threads pulling from a shared
+//! work queue; results land in per-output slots, so the trained bank — and
+//! its serialized bytes — is **identical for any thread count** (the same
+//! discipline `DatasetBuilder` uses, tested at {1, 2, 8} threads in
+//! `crates/ml/tests/determinism.rs`).
+//!
+//! When the model family trains on histograms (see
+//! [`SplitStrategy`](crate::SplitStrategy)), the feature matrix is
+//! quantized **once** into a shared read-only [`BinnedDataset`] under the
+//! `ml.train.bin` span, instead of once per output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
-use aqua_telemetry::TelemetryCtx;
+use aqua_telemetry::{TelemetryCtx, Value};
 use crossbeam::thread;
 
+use crate::binned::BinnedDataset;
 use crate::classifier::{Classifier, ModelKind};
 use crate::error::MlError;
 use crate::matrix::Matrix;
@@ -82,17 +94,48 @@ impl MultiOutputModel {
         let tel = span.ctx();
         let threads = threads.max(1).min(labels.len());
         let n_out = labels.len();
+
+        // One shared read-only binned view when the family's trees train
+        // on histograms — the quantization pass is paid once per corpus,
+        // not once per output.
+        let binned: Option<BinnedDataset> = kind.histogram_bins().map(|bins| {
+            let bin_span = tel.span("ml.train.bin");
+            let b = BinnedDataset::build(x, bins);
+            drop(bin_span);
+            b
+        });
+        let binned = binned.as_ref();
+
         let mut results: Vec<Option<Result<Box<dyn Classifier>, MlError>>> =
             (0..n_out).map(|_| None).collect();
 
         // Times one fit; pushes seconds into `durs` only when telemetry is
-        // live (the disabled path never touches the clock).
+        // live (the disabled path never touches the clock). The per-output
+        // event carries only deterministic fields (index, boosting rounds)
+        // keyed by the output index, so the flushed JSONL stream is
+        // byte-identical for any thread count.
         let fit_one = |v: usize, durs: &mut Vec<f64>| -> Result<Box<dyn Classifier>, MlError> {
             let t0 = tel.now_ns();
             let mut model = kind.build(seed.wrapping_add(v as u64));
-            let fitted = model.fit(x, &labels[v]).map(|()| model);
+            let fitted = match binned {
+                Some(b) => model.fit_binned(x, &labels[v], b),
+                None => model.fit(x, &labels[v]),
+            }
+            .map(|()| model);
             if let (Some(t0), Some(t1)) = (t0, tel.now_ns()) {
                 durs.push(t1.saturating_sub(t0) as f64 / 1e9);
+            }
+            if tel.enabled() {
+                if let Ok(model) = &fitted {
+                    tel.emit(
+                        v as u64,
+                        "ml.train.output",
+                        &[
+                            ("output", Value::from(v)),
+                            ("rounds", Value::from(model.boosting_rounds().unwrap_or(0))),
+                        ],
+                    );
+                }
             }
             fitted
         };
@@ -104,22 +147,44 @@ impl MultiOutputModel {
             }
             tel.observe_many("ml.train.fit_s", &durs);
         } else {
-            let chunk = n_out.div_ceil(threads);
+            // Work queue: each worker claims the next untrained output, so
+            // an expensive output never serializes a whole chunk behind it.
+            // Every output's result depends only on its index (seed
+            // derivation included), and results land in index slots — the
+            // trained bank is identical for any claim interleaving.
+            type WorkerOut = Vec<(usize, Result<Box<dyn Classifier>, MlError>)>;
+            let queue = AtomicUsize::new(0);
+            let queue = &queue;
             let fit_one = &fit_one;
-            thread::scope(|s| {
-                for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-                    let base = t * chunk;
-                    s.spawn(move |_| {
-                        // One histogram flush per worker, not per output.
-                        let mut durs = Vec::new();
-                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                            *slot = Some(fit_one(base + off, &mut durs));
-                        }
-                        tel.observe_many("ml.train.fit_s", &durs);
-                    });
-                }
+            let worker_results: Vec<WorkerOut> = thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(move |_| {
+                            let mut out = Vec::new();
+                            // One histogram flush per worker, not per
+                            // output.
+                            let mut durs = Vec::new();
+                            loop {
+                                let v = queue.fetch_add(1, Ordering::Relaxed);
+                                if v >= n_out {
+                                    break;
+                                }
+                                out.push((v, fit_one(v, &mut durs)));
+                            }
+                            tel.observe_many("ml.train.fit_s", &durs);
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("training threads do not panic"))
+                    .collect()
             })
             .expect("training threads do not panic");
+            for (v, res) in worker_results.into_iter().flatten() {
+                results[v] = Some(res);
+            }
         }
 
         let mut models = Vec::with_capacity(n_out);
