@@ -48,7 +48,7 @@ type Trace = Vec<(u64, Vec<Option<f64>>)>;
 fn reading_trace(net: &Network, session: &HostedSession, slots: u64) -> Trace {
     let leak_node = net.junction_ids()[33];
     let scenario = Scenario::new().with_leak(LeakEvent::new(leak_node, 0.015, slots / 2 * 900));
-    let sensors = session.sensors().clone();
+    let sensors = session.sensors();
     (0..=slots)
         .map(|slot| {
             let t = slot * 900;

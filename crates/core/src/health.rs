@@ -11,6 +11,8 @@
 //! (their deltas are imputed as zero) but the session keeps emitting
 //! detections from the surviving channels.
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
+
 /// Online health state of one sensor channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SensorStatus {
@@ -79,6 +81,64 @@ impl Default for SensorHealth {
             implausible: 0,
             last_value: None,
         }
+    }
+}
+
+impl Codec for SensorStatus {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(match self {
+            SensorStatus::Healthy => 0,
+            SensorStatus::Suspect => 1,
+            SensorStatus::Quarantined => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        match r.u8()? {
+            0 => Ok(SensorStatus::Healthy),
+            1 => Ok(SensorStatus::Suspect),
+            2 => Ok(SensorStatus::Quarantined),
+            v => Err(ArtifactError::Malformed {
+                reason: format!("invalid sensor status tag {v}"),
+            }),
+        }
+    }
+}
+
+impl Codec for HealthPolicy {
+    fn encode(&self, w: &mut Writer) {
+        self.max_staleness.encode(w);
+        self.max_repeats.encode(w);
+        self.max_implausible.encode(w);
+        self.pressure_bounds.encode(w);
+        self.flow_bounds.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(HealthPolicy {
+            max_staleness: Codec::decode(r)?,
+            max_repeats: Codec::decode(r)?,
+            max_implausible: Codec::decode(r)?,
+            pressure_bounds: Codec::decode(r)?,
+            flow_bounds: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for SensorHealth {
+    fn encode(&self, w: &mut Writer) {
+        self.status.encode(w);
+        self.staleness.encode(w);
+        self.repeats.encode(w);
+        self.implausible.encode(w);
+        self.last_value.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(SensorHealth {
+            status: SensorStatus::decode(r)?,
+            staleness: Codec::decode(r)?,
+            repeats: Codec::decode(r)?,
+            implausible: Codec::decode(r)?,
+            last_value: Codec::decode(r)?,
+        })
     }
 }
 

@@ -48,10 +48,12 @@ pub mod monitor;
 mod pipeline;
 pub mod registry;
 pub mod scenario;
+pub mod swap;
 
 pub use artifact::ProfileArtifact;
 pub use error::AquaError;
 pub use health::{HealthPolicy, SensorHealth, SensorStatus};
 pub use monitor::{Detection, MonitoringSession, SessionState};
 pub use pipeline::{AquaScale, AquaScaleConfig, ExternalObservations, Inference, ProfileModel};
-pub use registry::{HostedSession, SessionRegistry};
+pub use registry::{checkpoint_meta, HostedSession, SessionRegistry};
+pub use swap::{ModelHandle, ProfileSnapshot};

@@ -26,6 +26,7 @@
 use std::ops::{Deref, DerefMut};
 use std::time::Duration;
 
+use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use aqua_hydraulics::{solve_snapshot, Scenario, Snapshot, SolverOptions};
 use aqua_net::{Network, NodeId};
 use aqua_sensing::{FaultInjector, FaultModel};
@@ -48,6 +49,24 @@ pub struct Detection {
     /// Sensor channels quarantined when this detection fired (feature
     /// order: pressure channels first, then flow channels).
     pub quarantined: Vec<usize>,
+}
+
+impl Codec for Detection {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.time);
+        self.leak_nodes.encode(w);
+        // Nanoseconds as u64: exact round-trip (f64 seconds would not be).
+        w.u64(self.latency.as_nanos().min(u64::MAX as u128) as u64);
+        self.quarantined.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        Ok(Detection {
+            time: r.u64()?,
+            leak_nodes: Codec::decode(r)?,
+            latency: Duration::from_nanos(r.u64()?),
+            quarantined: Codec::decode(r)?,
+        })
+    }
 }
 
 /// The owned, deployment-independent state of a monitoring session.
@@ -267,6 +286,36 @@ impl SessionState {
             });
         }
         Ok(Some(inference))
+    }
+}
+
+impl Codec for SessionState {
+    // Everything that evolves slot-to-slot is captured, including the RNG
+    // stream position, so a decoded state continues *bit-identically* from
+    // where the encoded one stopped — the property replica failover needs.
+    fn encode(&self, w: &mut Writer) {
+        self.prev_used.encode(w);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        self.injector.encode(w);
+        self.policy.encode(w);
+        self.health.encode(w);
+        w.u64(self.slot);
+        self.detections.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
+        let prev_used = Codec::decode(r)?;
+        let rng = StdRng::from_state([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+        Ok(SessionState {
+            prev_used,
+            rng,
+            injector: FaultInjector::decode(r)?,
+            policy: HealthPolicy::decode(r)?,
+            health: Codec::decode(r)?,
+            slot: r.u64()?,
+            detections: Codec::decode(r)?,
+        })
     }
 }
 

@@ -9,23 +9,35 @@
 //! requests against *different* sessions never contend on one mutex.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use aqua_artifact::{Codec, SectionReader, SectionWriter, Writer};
 use aqua_net::Network;
-use aqua_sensing::FaultModel;
+use aqua_sensing::{FaultModel, SensorSet};
 use aqua_telemetry::TelemetryCtx;
 
 use crate::artifact::ProfileArtifact;
 use crate::error::AquaError;
 use crate::monitor::{Detection, SessionState};
 use crate::pipeline::{AquaScale, AquaScaleConfig, ExternalObservations, Inference, ProfileModel};
+use crate::swap::ModelHandle;
 
-/// One fully-owned monitoring deployment: network + config + trained
-/// profile + streaming state.
+/// Section names of a session checkpoint container. Deliberately disjoint
+/// from the profile-artifact sections, so a `.aquaprof` can never half-load
+/// as a checkpoint (or vice versa): `SectionReader` hard-rejects unknown
+/// section names.
+const CHECKPOINT_SECTIONS: &[&str] = &["ckpt.meta", "ckpt.state"];
+
+/// One fully-owned monitoring deployment: network + swappable model handle
+/// + streaming state.
+///
+/// The model lives behind an [`Arc<ModelHandle>`], so many sessions of one
+/// tenant can share a single handle — one successful
+/// [`ModelHandle::install`] upgrades every session atomically while their
+/// in-flight ingests finish on the snapshot they already hold.
 pub struct HostedSession {
     net: Network,
-    config: AquaScaleConfig,
-    profile: ProfileModel,
+    handle: Arc<ModelHandle>,
     state: SessionState,
 }
 
@@ -37,12 +49,18 @@ impl HostedSession {
         profile: ProfileModel,
         seed: u64,
     ) -> HostedSession {
-        let state = SessionState::new(profile.sensors.len(), seed, FaultModel::none());
+        Self::with_handle(net, Arc::new(ModelHandle::new(config, profile)), seed)
+    }
+
+    /// Hosts a session against a shared [`ModelHandle`] — the multi-session
+    /// shape: every session of a tenant holds the same handle and follows
+    /// its hot-swaps.
+    pub fn with_handle(net: Network, handle: Arc<ModelHandle>, seed: u64) -> HostedSession {
+        let channels = handle.snapshot().profile.sensors.len();
         HostedSession {
             net,
-            config,
-            profile,
-            state,
+            handle,
+            state: SessionState::new(channels, seed, FaultModel::none()),
         }
     }
 
@@ -59,26 +77,16 @@ impl HostedSession {
         artifact: ProfileArtifact,
         seed: u64,
     ) -> Result<HostedSession, AquaError> {
-        artifact.verify_network(&net)?;
-        let config = AquaScaleConfig {
-            features: artifact.features,
-            tuning: artifact.tuning,
-            sensors: Some(artifact.sensors.clone()),
-            train_samples: artifact.train_samples,
-            seed: artifact.seed,
-            ..AquaScaleConfig::default()
-        };
-        Ok(HostedSession::new(
-            net,
-            config,
-            artifact.into_profile(),
-            seed,
-        ))
+        let handle = ModelHandle::from_artifact(&net, artifact)?;
+        Ok(HostedSession::with_handle(net, Arc::new(handle), seed))
     }
 
     /// Feeds one slot of measured readings through the session (fault
     /// injection → health/quarantine → delta features → Phase-II
     /// inference). See [`SessionState::observe_readings`].
+    ///
+    /// The model snapshot is taken once at the top of the call, so a
+    /// concurrent hot-swap never changes the model mid-slot.
     ///
     /// # Errors
     ///
@@ -90,10 +98,11 @@ impl HostedSession {
         readings: &[Option<f64>],
         tel: TelemetryCtx<'_>,
     ) -> Result<Option<Inference>, AquaError> {
-        let aqua = AquaScale::new(&self.net, self.config.clone()).with_telemetry(tel);
+        let snap = self.handle.snapshot();
+        let aqua = AquaScale::new(&self.net, snap.config.clone()).with_telemetry(tel);
         self.state.observe_readings(
             &aqua,
-            &self.profile,
+            &snap.profile,
             time,
             readings,
             &ExternalObservations::none(),
@@ -107,13 +116,24 @@ impl HostedSession {
 
     /// Number of sensor channels the session expects per slot.
     pub fn channels(&self) -> usize {
-        self.profile.sensors.len()
+        self.handle.snapshot().profile.sensors.len()
     }
 
     /// The sensor deployment (channel order: pressure nodes, then flow
-    /// links).
-    pub fn sensors(&self) -> &aqua_sensing::SensorSet {
-        &self.profile.sensors
+    /// links). Owned: the live deployment can change under a hot-swap, so
+    /// no borrow into the snapshot is stable.
+    pub fn sensors(&self) -> SensorSet {
+        self.handle.snapshot().profile.sensors.clone()
+    }
+
+    /// The swappable model handle this session follows.
+    pub fn model(&self) -> &Arc<ModelHandle> {
+        &self.handle
+    }
+
+    /// The live model version this session would use for its next ingest.
+    pub fn model_version(&self) -> u64 {
+        self.handle.version()
     }
 
     /// The hosted network.
@@ -125,6 +145,83 @@ impl HostedSession {
     pub fn state(&self) -> &SessionState {
         &self.state
     }
+
+    /// Serializes the session's streaming state into a CRC-checked
+    /// checkpoint container (the `.aquaprof` wire machinery with its own
+    /// section names). The checkpoint captures readings history, RNG stream
+    /// position, fault-injector state, health counters and detections — so
+    /// a peer that [restores](Self::restore) it continues the stream
+    /// **bit-identically** from the checkpointed slot.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut sections = SectionWriter::new();
+
+        let mut meta = Writer::new();
+        meta.str(self.net.name());
+        meta.len_prefix(self.channels());
+        meta.u64(self.state.slots_observed());
+        sections.section("ckpt.meta", meta);
+
+        let mut w = Writer::new();
+        self.state.encode(&mut w);
+        sections.section("ckpt.state", w);
+
+        sections.into_container()
+    }
+
+    /// Replaces this session's streaming state with a checkpoint captured
+    /// on another (or an earlier) replica of the same deployment.
+    ///
+    /// # Errors
+    ///
+    /// Artifact errors on a corrupt, truncated or non-checkpoint container;
+    /// `InvalidConfig` when the checkpoint was captured against a different
+    /// network or channel count.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), AquaError> {
+        let sections = SectionReader::open(bytes, CHECKPOINT_SECTIONS)?;
+
+        let mut meta = sections.section("ckpt.meta")?;
+        let network_id = meta.str()?;
+        let channels = usize::decode(&mut meta)?;
+        let _slot = meta.u64()?;
+        meta.finish()?;
+
+        if network_id != self.net.name() {
+            return Err(AquaError::InvalidConfig {
+                reason: format!(
+                    "checkpoint captured on network '{}', session hosts '{}'",
+                    network_id,
+                    self.net.name()
+                ),
+            });
+        }
+        if channels != self.channels() {
+            return Err(AquaError::InvalidConfig {
+                reason: format!(
+                    "checkpoint expects {channels} sensor channels, session has {}",
+                    self.channels()
+                ),
+            });
+        }
+
+        let mut r = sections.section("ckpt.state")?;
+        let state = SessionState::decode(&mut r)?;
+        r.finish()?;
+        self.state = state;
+        Ok(())
+    }
+}
+
+/// Reads the provenance header of a checkpoint container without needing a
+/// session: `(network_id, channels, slots_observed)`. The container is
+/// fully CRC-validated first, so corrupt checkpoints fail here too.
+pub fn checkpoint_meta(bytes: &[u8]) -> Result<(String, usize, u64), AquaError> {
+    let sections = SectionReader::open(bytes, CHECKPOINT_SECTIONS)?;
+    let mut meta = sections.section("ckpt.meta")?;
+    let network_id = meta.str()?;
+    let channels = usize::decode(&mut meta)?;
+    let slot = meta.u64()?;
+    meta.finish()?;
+    Ok((network_id, channels, slot))
 }
 
 const SHARDS: usize = 8;
@@ -234,7 +331,7 @@ mod tests {
         let net = synth::epa_net();
         let snap =
             solve_snapshot(&net, &Scenario::default(), 0, &SolverOptions::default()).unwrap();
-        let sensors = session.sensors().clone();
+        let sensors = session.sensors();
         let readings: Vec<Option<f64>> = sensors
             .pressure_nodes
             .iter()

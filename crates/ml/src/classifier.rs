@@ -17,7 +17,7 @@ use crate::tree::{DecisionTree, DecisionTreeConfig};
 ///
 /// Labels are `0` (no leak) / `1` (leak). `predict_proba` returns
 /// `P(y = 1)` per sample; `predict` thresholds it at 0.5.
-pub trait Classifier: Send {
+pub trait Classifier: Send + Sync {
     /// Fits the model to training features `x` and labels `y`.
     ///
     /// # Errors

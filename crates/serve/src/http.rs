@@ -52,8 +52,29 @@ pub enum ReadError {
         /// Configured body-size ceiling in bytes.
         limit: usize,
     },
-    /// The underlying stream failed (includes read timeouts).
+    /// The peer reset or disconnected *mid-request* (after committing to
+    /// one): connection reset, broken pipe, or EOF inside a declared body.
+    Reset,
+    /// A read stalled past the socket timeout mid-request.
+    Stalled,
+    /// Any other stream failure.
     Io(io::Error),
+}
+
+/// Classifies a mid-request I/O failure. Timeouts surface as [`ReadError::Stalled`],
+/// peer resets and premature EOFs as [`ReadError::Reset`] — the serving
+/// layer counts the two separately (`serve.http.conn_stall` vs
+/// `serve.http.conn_reset`), since one points at slow clients and the other
+/// at flaky networks or killed peers.
+fn classify_io(e: io::Error) -> ReadError {
+    match e.kind() {
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ReadError::Stalled,
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::UnexpectedEof => ReadError::Reset,
+        _ => ReadError::Io(e),
+    }
 }
 
 const MAX_HEADER_LINE: usize = 8 * 1024;
@@ -63,7 +84,7 @@ fn read_line(r: &mut impl BufRead) -> Result<String, ReadError> {
     let mut line = String::new();
     // Bound the line length so a hostile peer cannot balloon memory.
     let mut limited = r.take(MAX_HEADER_LINE as u64);
-    let n = limited.read_line(&mut line).map_err(ReadError::Io)?;
+    let n = limited.read_line(&mut line).map_err(classify_io)?;
     if n == 0 {
         return Err(ReadError::Closed);
     }
@@ -99,10 +120,10 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, Re
     loop {
         let line = match read_line(r) {
             Ok(line) => line,
-            // EOF mid-headers is malformed, not a clean close.
-            Err(ReadError::Closed) => {
-                return Err(ReadError::BadRequest("truncated headers".into()))
-            }
+            // EOF mid-headers: the peer committed to a request and then
+            // vanished. There is nobody left to answer, so this counts as
+            // a reset, not a 400.
+            Err(ReadError::Closed) => return Err(ReadError::Reset),
             Err(e) => return Err(e),
         };
         if line.is_empty() {
@@ -130,7 +151,7 @@ pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, Re
         return Err(ReadError::TooLarge { limit: max_body });
     }
     let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body).map_err(ReadError::Io)?;
+    r.read_exact(&mut body).map_err(classify_io)?;
 
     Ok(Request {
         method: method.to_ascii_uppercase(),
@@ -160,6 +181,16 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A binary response (checkpoint downloads).
+    pub fn binary(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: "application/octet-stream",
+            body,
             extra_headers: Vec::new(),
         }
     }
@@ -204,6 +235,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -261,6 +293,78 @@ mod tests {
     #[test]
     fn empty_stream_is_a_clean_close() {
         assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn truncated_body_is_a_reset() {
+        // Declared Content-Length of 10, only 3 bytes before EOF: the peer
+        // committed to a request and vanished mid-body.
+        let raw = "POST /v1/x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(parse(raw), Err(ReadError::Reset)));
+    }
+
+    #[test]
+    fn eof_mid_headers_is_a_reset() {
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nHost: x\r\n"),
+            Err(ReadError::Reset)
+        ));
+    }
+
+    /// A reader that yields a prefix, then fails every further read with a
+    /// fixed [`io::ErrorKind`] — models a socket timing out (or resetting)
+    /// partway through a request.
+    struct FailAfter {
+        prefix: std::io::Cursor<Vec<u8>>,
+        kind: io::ErrorKind,
+    }
+
+    impl Read for FailAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.prefix.read(buf) {
+                Ok(0) => Err(io::Error::new(self.kind, "injected")),
+                other => other,
+            }
+        }
+    }
+
+    fn parse_failing(prefix: &str, kind: io::ErrorKind) -> Result<Request, ReadError> {
+        let reader = FailAfter {
+            prefix: std::io::Cursor::new(prefix.as_bytes().to_vec()),
+            kind,
+        };
+        read_request(&mut BufReader::new(reader), 1024)
+    }
+
+    #[test]
+    fn timed_out_read_is_a_stall() {
+        let raw = "POST /v1/x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(
+            parse_failing(raw, io::ErrorKind::TimedOut),
+            Err(ReadError::Stalled)
+        ));
+        assert!(matches!(
+            parse_failing(raw, io::ErrorKind::WouldBlock),
+            Err(ReadError::Stalled)
+        ));
+    }
+
+    #[test]
+    fn peer_reset_mid_body_is_a_reset() {
+        let raw = "POST /v1/x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(
+            parse_failing(raw, io::ErrorKind::ConnectionReset),
+            Err(ReadError::Reset)
+        ));
+    }
+
+    #[test]
+    fn other_io_errors_stay_io() {
+        let raw = "POST /v1/x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(
+            parse_failing(raw, io::ErrorKind::PermissionDenied),
+            Err(ReadError::Io(_))
+        ));
     }
 
     #[test]

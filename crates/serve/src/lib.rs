@@ -45,11 +45,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
+pub mod fleet;
 pub mod http;
 pub mod json;
 pub mod pool;
+pub mod router;
 mod routes;
 mod server;
+pub mod vault;
 
+pub use chaos::{Fault, FaultPlan};
+pub use fleet::{
+    BackendPool, BackendSpec, BackendState, HealthCheckPolicy, HealthChecker, ServiceRegistry,
+};
+pub use router::Router;
 pub use server::{ServeConfig, Server};
+pub use vault::ModelVault;

@@ -1,0 +1,171 @@
+//! The fleet routing front: forwards session-scoped requests to the
+//! session's home replica (rendezvous pick over healthy backends) with
+//! deterministic failover down the ranked list.
+//!
+//! The router is a *client-side* front: benches, gateways and tests embed
+//! it in-process and speak plain HTTP to the replicas behind it. Routed
+//! outcomes feed the same health state machine as active probes
+//! ([`BackendPool::note`](crate::fleet::BackendPool::note)) — a replica that stops answering routed
+//! traffic accrues consecutive failures and is ejected without waiting
+//! for the prober to notice.
+
+use std::io;
+use std::sync::Arc;
+
+use aqua_telemetry::TelemetryHub;
+
+use crate::client::{self, RawResponse};
+use crate::fleet::{BackendState, ServiceRegistry};
+use crate::json::escape;
+
+/// A forwarding front over a [`ServiceRegistry`].
+pub struct Router {
+    service: Arc<ServiceRegistry>,
+    hub: Arc<TelemetryHub>,
+}
+
+impl Router {
+    /// A router over `service`, accounting into `hub`.
+    pub fn new(service: Arc<ServiceRegistry>, hub: Arc<TelemetryHub>) -> Router {
+        Router { service, hub }
+    }
+
+    /// The registry this router consults.
+    pub fn service(&self) -> &Arc<ServiceRegistry> {
+        &self.service
+    }
+
+    /// Extracts the session id from a `/v1/sessions/{id}[/...]` path.
+    fn session_of(path: &str) -> Option<&str> {
+        let mut segments = path.split('/').filter(|s| !s.is_empty());
+        match (segments.next(), segments.next(), segments.next()) {
+            (Some("v1"), Some("sessions"), Some(id)) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Forwards one session-scoped request to its home replica, failing
+    /// over down the rendezvous ranking when a replica does not answer.
+    /// `ord` orders the telemetry this request may generate (an eject
+    /// event fired by accumulated failures, failover counters).
+    ///
+    /// A response — any status — means the replica is alive and counts as
+    /// a health success; only transport failures count against it.
+    ///
+    /// # Errors
+    ///
+    /// `NotConnected` when no healthy replica hosts the session's tenant;
+    /// otherwise the last transport error after exhausting the ranking.
+    pub fn forward(
+        &self,
+        ord: u64,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> io::Result<RawResponse> {
+        let Some(session) = Self::session_of(path) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("not a session-scoped path: {path}"),
+            ));
+        };
+        let ranked = self.service.ranked(session);
+        if ranked.is_empty() {
+            self.hub.add("serve.router.no_replica", 1);
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("no healthy replica for session {session:?}"),
+            ));
+        }
+        let pool = Arc::clone(self.service.pool());
+        let mut last_err = None;
+        for spec in ranked {
+            match client::request(spec.addr, method, path, content_type, body) {
+                Ok(resp) => {
+                    pool.note(&spec.id, true, ord, &self.hub);
+                    self.hub.add("serve.router.forwarded", 1);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    pool.note(&spec.id, false, ord, &self.hub);
+                    self.hub.add("serve.router.failover", 1);
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no replica answered")))
+    }
+
+    /// Fleet status as JSON: every backend with its address, state and
+    /// consecutive-failure count — the `/fleet` surface.
+    pub fn status_json(&self) -> String {
+        let rows: Vec<String> = self
+            .service
+            .pool()
+            .status()
+            .into_iter()
+            .map(|(id, addr, state, failures)| {
+                let state = match state {
+                    BackendState::Healthy => "healthy",
+                    BackendState::Ejected => "ejected",
+                };
+                format!(
+                    "{{\"backend\":{},\"addr\":{},\"state\":\"{state}\",\"failures\":{failures}}}",
+                    escape(&id),
+                    escape(&addr.to_string()),
+                )
+            })
+            .collect();
+        format!("{{\"backends\":[{}]}}", rows.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{BackendPool, BackendSpec, HealthCheckPolicy};
+
+    #[test]
+    fn session_ids_parse_out_of_paths() {
+        assert_eq!(Router::session_of("/v1/sessions/s-1/ingest"), Some("s-1"));
+        assert_eq!(Router::session_of("/v1/sessions/s-1"), Some("s-1"));
+        assert_eq!(Router::session_of("/v1/sessions"), None);
+        assert_eq!(Router::session_of("/healthz"), None);
+    }
+
+    #[test]
+    fn unrouteable_sessions_error_without_io() {
+        let pool = Arc::new(BackendPool::new(HealthCheckPolicy::default()));
+        let service = Arc::new(ServiceRegistry::new(pool));
+        let hub = Arc::new(TelemetryHub::new());
+        let router = Router::new(service, Arc::clone(&hub));
+        let err = router
+            .forward(
+                0,
+                "GET",
+                "/v1/sessions/ghost/detections",
+                "application/json",
+                &[],
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotConnected);
+        assert_eq!(hub.metrics_snapshot().counter("serve.router.no_replica"), 1);
+    }
+
+    #[test]
+    fn status_json_lists_backends() {
+        let pool = Arc::new(BackendPool::new(HealthCheckPolicy::default()));
+        pool.add(BackendSpec {
+            id: "replica-0".into(),
+            addr: "127.0.0.1:9999".parse().unwrap(),
+        });
+        let service = Arc::new(ServiceRegistry::new(pool));
+        let hub = Arc::new(TelemetryHub::new());
+        let router = Router::new(service, hub);
+        let json = router.status_json();
+        assert!(json.contains("\"backend\":\"replica-0\""));
+        assert!(json.contains("\"state\":\"healthy\""));
+    }
+}

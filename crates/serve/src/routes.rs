@@ -4,32 +4,51 @@
 //! |--------|-------------------------------|---------------------------------|
 //! | GET    | `/healthz`                    | liveness + session count        |
 //! | GET    | `/metrics`                    | live telemetry snapshot (JSON)  |
+//! | GET    | `/v1/models`                  | tenants + live model versions   |
+//! | POST   | `/v1/models/{network}`        | hot-swap a tenant's `.aquaprof` |
 //! | GET    | `/v1/sessions`                | hosted session ids              |
+//! | PUT    | `/v1/sessions/{id}`           | create a session from the vault |
 //! | POST   | `/v1/sessions/{id}/ingest`    | batched sensor readings         |
 //! | GET    | `/v1/sessions/{id}/detections`| detection/localization results  |
+//! | GET    | `/v1/sessions/{id}/checkpoint`| binary session checkpoint       |
+//! | POST   | `/v1/sessions/{id}/restore`   | restore a checkpoint (peer ok)  |
 //! | POST   | `/debug/sleep/{ms}`           | hold a worker (shed/drain tests)|
 
-use aqua_core::{AquaError, SessionRegistry};
-use aqua_telemetry::TelemetryHub;
+use aqua_core::{checkpoint_meta, AquaError, SessionRegistry};
+use aqua_telemetry::{TelemetryHub, Value};
 
 use crate::http::{Request, Response};
 use crate::json::{escape, num, Json};
+use crate::vault::ModelVault;
 
 /// Routes one request to its handler.
-pub fn handle(req: &Request, registry: &SessionRegistry, hub: &TelemetryHub) -> Response {
+pub fn handle(
+    req: &Request,
+    registry: &SessionRegistry,
+    vault: &ModelVault,
+    hub: &TelemetryHub,
+) -> Response {
     let path = req.path().to_string();
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => healthz(registry),
         ("GET", ["metrics"]) => Response::json(200, hub.metrics_snapshot().to_json()),
+        ("GET", ["v1", "models"]) => models(vault),
+        ("POST", ["v1", "models", network]) => install_model(req, network, vault, hub),
         ("GET", ["v1", "sessions"]) => sessions(registry),
+        ("PUT", ["v1", "sessions", id]) => create_session(req, id, registry, vault),
         ("POST", ["v1", "sessions", id, "ingest"]) => ingest(req, id, registry, hub),
         ("GET", ["v1", "sessions", id, "detections"]) => detections(id, registry),
+        ("GET", ["v1", "sessions", id, "checkpoint"]) => checkpoint(id, registry),
+        ("POST", ["v1", "sessions", id, "restore"]) => restore(req, id, registry, vault, hub),
         ("POST", ["debug", "sleep", ms]) => sleep(ms),
         // Known paths hit with the wrong method get a 405, not a 404.
         (_, ["healthz" | "metrics"])
+        | (_, ["v1", "models"])
+        | (_, ["v1", "models", _])
         | (_, ["v1", "sessions"])
-        | (_, ["v1", "sessions", _, "ingest" | "detections"])
+        | (_, ["v1", "sessions", _])
+        | (_, ["v1", "sessions", _, "ingest" | "detections" | "checkpoint" | "restore"])
         | (_, ["debug", "sleep", _]) => Response::error(405, "method not allowed"),
         _ => Response::error(404, &format!("no route for {}", req.path())),
     }
@@ -45,6 +64,151 @@ fn healthz(registry: &SessionRegistry) -> Response {
 fn sessions(registry: &SessionRegistry) -> Response {
     let ids: Vec<String> = registry.ids().iter().map(|id| escape(id)).collect();
     Response::json(200, format!("{{\"sessions\":[{}]}}", ids.join(",")))
+}
+
+fn models(vault: &ModelVault) -> Response {
+    let entries: Vec<String> = vault
+        .tenants()
+        .into_iter()
+        .map(|(network, version)| {
+            format!("{{\"network\":{},\"version\":{version}}}", escape(&network))
+        })
+        .collect();
+    Response::json(200, format!("{{\"models\":[{}]}}", entries.join(",")))
+}
+
+/// Hot-swap endpoint: the request body is a complete `.aquaprof`. The swap
+/// is fail-closed — any rejection leaves the previous model live, and both
+/// outcomes are visible in the telemetry event stream.
+fn install_model(req: &Request, network: &str, vault: &ModelVault, hub: &TelemetryHub) -> Response {
+    match vault.install(network, &req.body) {
+        None => Response::error(404, &format!("no tenant {network:?}")),
+        Some(Ok(version)) => {
+            hub.add("serve.swap.applied", 1);
+            hub.emit(
+                version,
+                "serve.swap.applied",
+                &[
+                    ("network", Value::Str(network.to_string())),
+                    ("version", Value::U64(version)),
+                ],
+            );
+            Response::json(
+                200,
+                format!("{{\"network\":{},\"version\":{version}}}", escape(network)),
+            )
+        }
+        Some(Err(e)) => {
+            let live = vault.handle(network).map_or(0, |h| h.version());
+            hub.add("serve.swap.rejected", 1);
+            hub.emit(
+                live,
+                "serve.swap.rejected",
+                &[
+                    ("network", Value::Str(network.to_string())),
+                    ("reason", Value::Str(e.to_string())),
+                ],
+            );
+            Response::error(
+                400,
+                &format!("artifact rejected, model v{live} stays live: {e}"),
+            )
+        }
+    }
+}
+
+fn create_session(
+    req: &Request,
+    id: &str,
+    registry: &SessionRegistry,
+    vault: &ModelVault,
+) -> Response {
+    let parsed = std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| Json::parse(text).map_err(|e| format!("bad JSON: {e}")));
+    let doc = match parsed {
+        Ok(doc) => doc,
+        Err(reason) => return Response::error(400, &reason),
+    };
+    let Some(network) = doc.get("network").and_then(Json::as_str) else {
+        return Response::error(400, "missing \"network\"");
+    };
+    let seed = doc.get("seed").and_then(Json::as_u64).unwrap_or(0);
+    if registry.with_session(id, |_| ()).is_some() {
+        return Response::error(409, &format!("session {id:?} already exists"));
+    }
+    let Some(session) = vault.create_session(network, seed) else {
+        return Response::error(404, &format!("no tenant {network:?}"));
+    };
+    let channels = session.channels();
+    registry.insert(id, session);
+    Response::json(
+        200,
+        format!(
+            "{{\"session\":{},\"network\":{},\"channels\":{channels}}}",
+            escape(id),
+            escape(network)
+        ),
+    )
+}
+
+fn checkpoint(id: &str, registry: &SessionRegistry) -> Response {
+    match registry.with_session(id, |session| session.checkpoint()) {
+        None => Response::error(404, &format!("no session {id:?}")),
+        Some(bytes) => Response::binary(200, bytes),
+    }
+}
+
+/// Restores a checkpoint into the named session — creating the session
+/// from the vault first when it does not exist, which is exactly the
+/// killed-replica-resumes-on-a-peer path.
+fn restore(
+    req: &Request,
+    id: &str,
+    registry: &SessionRegistry,
+    vault: &ModelVault,
+    hub: &TelemetryHub,
+) -> Response {
+    // Validate the container (CRC and all) and read its provenance before
+    // touching any session state.
+    let (network, _channels, slot) = match checkpoint_meta(&req.body) {
+        Ok(meta) => meta,
+        Err(e) => return Response::error(400, &format!("bad checkpoint: {e}")),
+    };
+    if registry.with_session(id, |_| ()).is_none() {
+        let Some(session) = vault.create_session(&network, 0) else {
+            return Response::error(
+                404,
+                &format!("checkpoint is for unknown tenant {network:?}"),
+            );
+        };
+        registry.insert(id, session);
+    }
+    let outcome = registry.with_session(id, |session| session.restore(&req.body));
+    match outcome {
+        None => Response::error(404, &format!("no session {id:?}")),
+        Some(Err(e)) => Response::error(400, &format!("restore rejected: {e}")),
+        Some(Ok(())) => {
+            hub.add("serve.session.restored", 1);
+            hub.emit(
+                slot,
+                "serve.session.restore",
+                &[
+                    ("session", Value::Str(id.to_string())),
+                    ("network", Value::Str(network.clone())),
+                    ("slot", Value::U64(slot)),
+                ],
+            );
+            Response::json(
+                200,
+                format!(
+                    "{{\"session\":{},\"network\":{},\"slot\":{slot}}}",
+                    escape(id),
+                    escape(&network)
+                ),
+            )
+        }
+    }
 }
 
 /// One validated ingest batch: `(slot time, per-channel readings)`.

@@ -22,6 +22,7 @@ use aqua_telemetry::TelemetryHub;
 use crate::http::{self, ReadError, Response};
 use crate::pool::BoundedQueue;
 use crate::routes;
+use crate::vault::ModelVault;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -69,9 +70,25 @@ pub struct Server {
 impl Server {
     /// Binds and starts accepting. The server holds shared handles to the
     /// session registry (ingest/query state) and the telemetry hub
-    /// (`/metrics` and request accounting).
+    /// (`/metrics` and request accounting). Model-management endpoints run
+    /// against an empty vault; use [`Server::start_with_vault`] to serve
+    /// hot-swappable tenants.
     pub fn start(
         registry: Arc<SessionRegistry>,
+        hub: Arc<TelemetryHub>,
+        config: ServeConfig,
+    ) -> std::io::Result<Server> {
+        Self::start_with_vault(registry, Arc::new(ModelVault::new()), hub, config)
+    }
+
+    /// Like [`Server::start`], but with a [`ModelVault`] of registered
+    /// tenants behind the model-management endpoints: `GET /v1/models`,
+    /// `POST /v1/models/{network}` (hot-swap), `PUT /v1/sessions/{id}`
+    /// (session creation from a tenant) and checkpoint restore onto a
+    /// fresh peer.
+    pub fn start_with_vault(
+        registry: Arc<SessionRegistry>,
+        vault: Arc<ModelVault>,
         hub: Arc<TelemetryHub>,
         config: ServeConfig,
     ) -> std::io::Result<Server> {
@@ -84,11 +101,12 @@ impl Server {
             .map(|_| {
                 let queue = Arc::clone(&queue);
                 let registry = Arc::clone(&registry);
+                let vault = Arc::clone(&vault);
                 let hub = Arc::clone(&hub);
                 let max_body = config.max_body_bytes;
                 std::thread::spawn(move || {
                     while let Some(stream) = queue.pop() {
-                        handle_connection(stream, &registry, &hub, max_body);
+                        handle_connection(stream, &registry, &vault, &hub, max_body);
                     }
                 })
             })
@@ -194,6 +212,7 @@ fn shed(mut stream: TcpStream, hub: &TelemetryHub, retry_after_s: u64) {
 fn handle_connection(
     mut stream: TcpStream,
     registry: &SessionRegistry,
+    vault: &ModelVault,
     hub: &TelemetryHub,
     max_body: usize,
 ) {
@@ -203,9 +222,21 @@ fn handle_connection(
     let mut reader = BufReader::new(read_half);
     let started = Instant::now();
     let response = match http::read_request(&mut reader, max_body) {
-        Ok(request) => routes::handle(&request, registry, hub),
-        // A clean disconnect or a socket error mid-read: nothing to answer.
-        Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+        Ok(request) => routes::handle(&request, registry, vault, hub),
+        // A clean disconnect: nothing happened, nothing to count.
+        Err(ReadError::Closed) => return,
+        // Mid-request failures are counted separately — resets point at
+        // flaky peers or kills, stalls at slow clients — then dropped
+        // (there is no live peer to answer).
+        Err(ReadError::Reset) => {
+            hub.add("serve.http.conn_reset", 1);
+            return;
+        }
+        Err(ReadError::Stalled) => {
+            hub.add("serve.http.conn_stall", 1);
+            return;
+        }
+        Err(ReadError::Io(_)) => return,
         Err(ReadError::BadRequest(reason)) => Response::error(400, &reason),
         Err(ReadError::TooLarge { limit }) => {
             Response::error(413, &format!("body exceeds {limit} bytes"))

@@ -108,7 +108,7 @@ fn reading_trace(session: &HostedSession, slots: u64) -> Vec<(u64, Vec<Option<f6
     let net = synth::epa_net();
     let leak_node = net.junction_ids()[33];
     let scenario = Scenario::new().with_leak(LeakEvent::new(leak_node, 0.015, 4 * 900));
-    let sensors = session.sensors().clone();
+    let sensors = session.sensors();
     (0..=slots)
         .map(|slot| {
             let t = slot * 900;

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    future format refuses to decode) and host it in a session.
     let loaded = ProfileArtifact::load(&path)?;
     let session = HostedSession::from_artifact(net.clone(), loaded, 7)?;
-    let sensors = session.sensors().clone();
+    let sensors = session.sensors();
 
     let registry = Arc::new(SessionRegistry::new());
     registry.insert("epa", session);

@@ -157,6 +157,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The full xoshiro256++ stream state. Together with
+        /// [`StdRng::from_state`] this lets long-running sessions
+        /// checkpoint their RNG mid-stream and resume bit-identically.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a captured [`StdRng::state`]. The
+        /// restored stream continues exactly where the captured one was.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ (Blackman & Vigna, 2018).
