@@ -88,6 +88,13 @@ impl HostedSession {
     /// The model snapshot is taken once at the top of the call, so a
     /// concurrent hot-swap never changes the model mid-slot.
     ///
+    /// When `tel` carries a [`TraceContext`](aqua_telemetry::TraceContext)
+    /// the session runs under a child span of the request and emits one
+    /// `core.session.ingest` event, so a stitched trace reaches all the
+    /// way into Phase-II inference. Untraced callers emit nothing extra —
+    /// the deterministic event streams the corpus machinery compares are
+    /// unchanged.
+    ///
     /// # Errors
     ///
     /// `InvalidConfig` when the reading count does not match the sensor
@@ -98,15 +105,31 @@ impl HostedSession {
         readings: &[Option<f64>],
         tel: TelemetryCtx<'_>,
     ) -> Result<Option<Inference>, AquaError> {
+        let tel = match tel.trace() {
+            Some(t) => tel.with_trace(t.child(1)),
+            None => tel,
+        };
         let snap = self.handle.snapshot();
         let aqua = AquaScale::new(&self.net, snap.config.clone()).with_telemetry(tel);
-        self.state.observe_readings(
+        let result = self.state.observe_readings(
             &aqua,
             &snap.profile,
             time,
             readings,
             &ExternalObservations::none(),
-        )
+        );
+        if let (Some(t), Ok(inference)) = (tel.trace(), &result) {
+            tel.emit(
+                t.ordinal,
+                "core.session.ingest",
+                &[
+                    ("time", time.into()),
+                    ("detected", inference.is_some().into()),
+                    ("model_version", self.handle.version().into()),
+                ],
+            );
+        }
+        result
     }
 
     /// Detections fired so far.

@@ -14,7 +14,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use aqua_telemetry::TelemetryHub;
+use aqua_telemetry::{TelemetryCtx, TraceContext, TRACE_HEADER};
 
 use crate::json::Json;
 
@@ -120,12 +120,26 @@ pub(crate) fn request(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<RawResponse> {
-    request_with_timeout(
+    request_traced(addr, method, path, content_type, body, None)
+}
+
+/// Like [`request`] but announcing a trace context to the server via the
+/// `x-aqua-trace` header, so the server's spans join the caller's trace.
+pub(crate) fn request_traced(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+    trace: Option<&TraceContext>,
+) -> std::io::Result<RawResponse> {
+    request_full(
         addr,
         method,
         path,
         content_type,
         body,
+        trace,
         Duration::from_secs(30),
     )
 }
@@ -138,14 +152,29 @@ pub(crate) fn request_with_timeout(
     body: &[u8],
     timeout: Duration,
 ) -> std::io::Result<RawResponse> {
+    request_full(addr, method, path, content_type, body, None, timeout)
+}
+
+fn request_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+    trace: Option<&TraceContext>,
+    timeout: Duration,
+) -> std::io::Result<RawResponse> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
+    let trace_line = trace
+        .map(|t| format!("{TRACE_HEADER}: {}\r\n", t.header_value()))
+        .unwrap_or_default();
     // One buffered write for the whole request: a peer that answers and
     // closes after a partial read would RST out the fragments of a
     // multi-write send.
     let mut req = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n{trace_line}\
          Content-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
         body.len()
     )
@@ -236,6 +265,11 @@ fn retryable(e: &std::io::Error) -> bool {
 /// server-sent `Retry-After` (seconds) over the computed backoff. Any
 /// other response — including 4xx/5xx — is returned as-is: the request
 /// reached a live server, so retrying is the caller's policy decision.
+///
+/// When `tel` carries a [`TraceContext`] the context is propagated to the
+/// server on every attempt and each retry emits a traced
+/// `serve.client.retry` event, so backoff decisions show up in the
+/// stitched timeline.
 pub fn request_with_retry(
     addr: SocketAddr,
     method: &str,
@@ -243,13 +277,13 @@ pub fn request_with_retry(
     content_type: &str,
     body: &[u8],
     policy: &RetryPolicy,
-    hub: &TelemetryHub,
+    tel: TelemetryCtx<'_>,
 ) -> std::io::Result<RawResponse> {
     let mut slept = Duration::ZERO;
     let mut retry = 0u32;
     loop {
-        hub.add("serve.client.attempts", 1);
-        let outcome = request(addr, method, path, content_type, body);
+        tel.add("serve.client.attempts", 1);
+        let outcome = request_traced(addr, method, path, content_type, body, tel.trace().as_ref());
         // What delay would a retry want? `None` means "don't retry".
         let wanted = match &outcome {
             Ok(resp) if resp.status == 503 => {
@@ -271,10 +305,20 @@ pub fn request_with_retry(
             return outcome;
         }
         if slept + delay > policy.sleep_budget {
-            hub.add("serve.client.budget_exhausted", 1);
+            tel.add("serve.client.budget_exhausted", 1);
             return outcome;
         }
-        hub.add("serve.client.retries", 1);
+        tel.add("serve.client.retries", 1);
+        if let Some(t) = tel.trace() {
+            tel.emit(
+                t.ordinal,
+                "serve.client.retry",
+                &[
+                    ("retry", u64::from(retry).into()),
+                    ("delay_ms", (delay.as_millis() as u64).into()),
+                ],
+            );
+        }
         std::thread::sleep(delay);
         slept += delay;
         retry += 1;
@@ -313,6 +357,7 @@ fn parse_response(raw: &[u8]) -> std::io::Result<RawResponse> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aqua_telemetry::TelemetryHub;
 
     #[test]
     fn parses_a_full_response() {
@@ -377,7 +422,7 @@ mod tests {
             "application/json",
             &[],
             &policy,
-            &hub,
+            hub.ctx(),
         );
         assert!(out.is_err());
         let m = hub.metrics_snapshot();
@@ -418,8 +463,16 @@ mod tests {
             base_delay: Duration::from_millis(1),
             ..RetryPolicy::default()
         };
-        let resp =
-            request_with_retry(addr, "GET", "/x", "application/json", &[], &policy, &hub).unwrap();
+        let resp = request_with_retry(
+            addr,
+            "GET",
+            "/x",
+            "application/json",
+            &[],
+            &policy,
+            hub.ctx(),
+        )
+        .unwrap();
         assert_eq!(resp.status, 200);
         let m = hub.metrics_snapshot();
         assert_eq!(m.counter("serve.client.attempts"), 2);
@@ -440,9 +493,16 @@ mod tests {
             sleep_budget: Duration::ZERO,
             ..RetryPolicy::default()
         };
-        assert!(
-            request_with_retry(addr, "GET", "/x", "application/json", &[], &policy, &hub).is_err()
-        );
+        assert!(request_with_retry(
+            addr,
+            "GET",
+            "/x",
+            "application/json",
+            &[],
+            &policy,
+            hub.ctx()
+        )
+        .is_err());
         let m = hub.metrics_snapshot();
         assert_eq!(m.counter("serve.client.attempts"), 1);
         assert_eq!(m.counter("serve.client.retries"), 0);

@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use aqua_telemetry::{TelemetryHub, Value};
+use aqua_telemetry::{TelemetryCtx, TelemetryHub, Value};
 
 use crate::client;
 
@@ -173,8 +173,12 @@ impl BackendPool {
     /// Feeds one health observation (probe result or routed-request
     /// outcome) for backend `id` into the state machine. `ord` orders the
     /// resulting telemetry events (probe round, or request step for
-    /// passive signals).
-    pub fn note(&self, id: &str, ok: bool, ord: u64, hub: &TelemetryHub) {
+    /// passive signals). When `tel` carries a trace — the router passes
+    /// the failover attempt's context for passive signals — the resulting
+    /// `serve.fleet.eject`/`serve.fleet.readmit` events join that trace,
+    /// so the stitched timeline shows *which request* tipped the state
+    /// machine.
+    pub fn note(&self, id: &str, ok: bool, ord: u64, tel: TelemetryCtx<'_>) {
         let mut backends = self.lock();
         let Some(b) = backends.iter_mut().find(|b| b.spec.id == id) else {
             return;
@@ -190,8 +194,8 @@ impl BackendPool {
                     b.consecutive_successes = 0;
                     b.backoff = self.policy.backoff_base.max(1);
                     b.next_probe_round = ord + b.backoff;
-                    hub.add("serve.fleet.eject", 1);
-                    hub.emit(
+                    tel.add("serve.fleet.eject", 1);
+                    tel.emit(
                         ord,
                         "serve.fleet.eject",
                         &[
@@ -209,8 +213,8 @@ impl BackendPool {
                     let probes = b.consecutive_successes;
                     b.consecutive_successes = 0;
                     b.backoff = 0;
-                    hub.add("serve.fleet.readmit", 1);
-                    hub.emit(
+                    tel.add("serve.fleet.readmit", 1);
+                    tel.emit(
                         ord,
                         "serve.fleet.readmit",
                         &[
@@ -388,7 +392,7 @@ impl HealthChecker {
         let round = self.round.fetch_add(1, Ordering::SeqCst);
         for spec in self.pool.due_probes(round) {
             let ok = probe(&spec);
-            self.pool.note(&spec.id, ok, round, hub);
+            self.pool.note(&spec.id, ok, round, hub.ctx());
         }
         round
     }
@@ -515,7 +519,7 @@ mod tests {
         let events = hub.drain_events();
         let names: Vec<&str> = events
             .iter()
-            .map(|e| e.name.as_str())
+            .map(|e| e.name.as_ref())
             .filter(|n| n.starts_with("serve.fleet."))
             .collect();
         assert_eq!(names, vec!["serve.fleet.eject", "serve.fleet.readmit"]);
@@ -549,7 +553,7 @@ mod tests {
         // Eject replica-1: only its sessions move, everyone else stays put.
         let hub = TelemetryHub::new();
         for ord in 0..3 {
-            pool.note("replica-1", false, ord, &hub);
+            pool.note("replica-1", false, ord, hub.ctx());
         }
         assert_eq!(pool.state("replica-1"), Some(BackendState::Ejected));
         for (s, old) in sessions.iter().zip(&before) {
@@ -571,7 +575,7 @@ mod tests {
         assert!(registry.route("s").is_some());
         let hub = TelemetryHub::new();
         for ord in 0..3 {
-            pool.note("replica-0", false, ord, &hub);
+            pool.note("replica-0", false, ord, hub.ctx());
         }
         assert!(registry.route("s").is_none());
         assert!(registry.route("unknown-session").is_none());

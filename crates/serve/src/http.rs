@@ -6,6 +6,8 @@
 
 use std::io::{self, BufRead, Read, Write};
 
+use aqua_telemetry::{TraceContext, TRACE_HEADER};
+
 /// One parsed HTTP request.
 #[derive(Debug)]
 pub struct Request {
@@ -37,6 +39,14 @@ impl Request {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// The receiver-side [`TraceContext`] carried in the `x-aqua-trace`
+    /// header, if a well-formed one was sent. Tracing is best effort: a
+    /// missing or malformed header yields `None` (an untraced request),
+    /// never an error.
+    pub fn trace(&self) -> Option<TraceContext> {
+        TraceContext::from_header(self.header(TRACE_HEADER)?)
     }
 }
 
@@ -195,6 +205,16 @@ impl Response {
         }
     }
 
+    /// A plain-text response (Prometheus exposition format 0.0.4).
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
     /// A JSON error response with a `{"error": ...}` body.
     pub fn error(status: u16, message: &str) -> Response {
         Response::json(
@@ -261,6 +281,23 @@ mod tests {
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"));
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn trace_headers_parse_and_malformed_ones_degrade() {
+        let sender = TraceContext::root(3, 9);
+        let raw = format!(
+            "GET /healthz HTTP/1.1\r\nx-aqua-trace: {}\r\n\r\n",
+            sender.header_value()
+        );
+        let trace = parse(&raw).unwrap().trace().expect("traced");
+        assert_eq!(trace.trace_id, sender.trace_id);
+        assert_eq!(trace.parent_span_id, sender.span_id);
+        assert_eq!(trace.ordinal, 9);
+        let bad = parse("GET / HTTP/1.1\r\nx-aqua-trace: nonsense\r\n\r\n").unwrap();
+        assert!(bad.trace().is_none());
+        let none = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(none.trace().is_none());
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub use chaos::{Fault, FaultPlan};
 pub use fleet::{
     BackendPool, BackendSpec, BackendState, HealthCheckPolicy, HealthChecker, ServiceRegistry,
 };
-pub use router::Router;
+pub use router::{ForwardRecord, Router};
 pub use server::{ServeConfig, Server};
 pub use vault::ModelVault;

@@ -17,7 +17,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use aqua_core::SessionRegistry;
-use aqua_telemetry::TelemetryHub;
+use aqua_telemetry::{TelemetryHub, Value};
 
 use crate::http::{self, ReadError, Response};
 use crate::pool::BoundedQueue;
@@ -208,6 +208,23 @@ fn shed(mut stream: TcpStream, hub: &TelemetryHub, retry_after_s: u64) {
     }
 }
 
+/// Records the per-endpoint RED metrics of one handled request: request
+/// rate by status class, error count (5xx), and a latency histogram, all
+/// keyed by the closed route-label vocabulary (`routes::route_label`).
+fn record_red(hub: &TelemetryHub, route: &str, status: u16, latency_s: f64) {
+    let class = match status {
+        200..=299 => "2xx",
+        300..=399 => "3xx",
+        400..=499 => "4xx",
+        _ => "5xx",
+    };
+    hub.add(&format!("serve.red.requests.{route}.{class}"), 1);
+    if status >= 500 {
+        hub.add(&format!("serve.red.errors.{route}"), 1);
+    }
+    hub.observe(&format!("serve.red.latency_s.{route}"), latency_s);
+}
+
 /// Serves one request on one connection (`Connection: close` throughout).
 fn handle_connection(
     mut stream: TcpStream,
@@ -221,8 +238,13 @@ fn handle_connection(
     };
     let mut reader = BufReader::new(read_half);
     let started = Instant::now();
-    let response = match http::read_request(&mut reader, max_body) {
-        Ok(request) => routes::handle(&request, registry, vault, hub),
+    let (response, route, trace) = match http::read_request(&mut reader, max_body) {
+        Ok(request) => {
+            let trace = request.trace();
+            let route = routes::route_label(&request.method, request.path());
+            let response = routes::handle(&request, registry, vault, hub, trace);
+            (response, route, trace)
+        }
         // A clean disconnect: nothing happened, nothing to count.
         Err(ReadError::Closed) => return,
         // Mid-request failures are counted separately — resets point at
@@ -237,13 +259,28 @@ fn handle_connection(
             return;
         }
         Err(ReadError::Io(_)) => return,
-        Err(ReadError::BadRequest(reason)) => Response::error(400, &reason),
-        Err(ReadError::TooLarge { limit }) => {
-            Response::error(413, &format!("body exceeds {limit} bytes"))
-        }
+        Err(ReadError::BadRequest(reason)) => (Response::error(400, &reason), "unparsed", None),
+        Err(ReadError::TooLarge { limit }) => (
+            Response::error(413, &format!("body exceeds {limit} bytes")),
+            "unparsed",
+            None,
+        ),
     };
     hub.add("serve.http.requests", 1);
     hub.observe("serve.http.latency_s", started.elapsed().as_secs_f64());
+    record_red(hub, route, response.status, started.elapsed().as_secs_f64());
+    // The server-side span of a traced request: stitched under the
+    // router's attempt span via the propagated header.
+    if let Some(t) = trace {
+        hub.ctx().with_trace(t).emit(
+            t.ordinal,
+            "serve.http.request",
+            &[
+                ("route", Value::Str(route.to_string())),
+                ("status", Value::U64(u64::from(response.status))),
+            ],
+        );
+    }
     let _ = response.write_to(&mut stream);
     let _ = stream.flush();
 }

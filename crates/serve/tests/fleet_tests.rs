@@ -183,7 +183,7 @@ fn hot_swap_applies_and_refuses_over_http() {
     let events = hub.drain_events();
     let swap_events: Vec<&str> = events
         .iter()
-        .map(|e| e.name.as_str())
+        .map(|e| e.name.as_ref())
         .filter(|n| n.starts_with("serve.swap."))
         .collect();
     assert_eq!(

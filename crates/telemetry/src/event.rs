@@ -12,10 +12,21 @@
 //!
 //! Events deliberately carry no timestamps: anything time-like belongs in
 //! spans or histograms, keeping the JSONL stream reproducible.
+//!
+//! The sink's in-memory buffer is **bounded** (per shard): once a shard
+//! reaches its capacity the oldest buffered event is dropped to admit the
+//! new one, and the hub counts every drop in `telemetry.events.dropped` —
+//! a long-lived serving replica that is never flushed degrades to a ring
+//! of recent events instead of growing without limit. Note that once
+//! drops occur, the thread-count invariance of the flushed stream no
+//! longer holds (which events survive depends on shard assignment); size
+//! the capacity above the expected un-flushed volume when that matters.
 
+use std::borrow::Cow;
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::json;
@@ -73,10 +84,14 @@ pub struct Event {
     /// sharing an ordinal must be emitted by a single thread, in a
     /// deterministic order, for the flushed stream to be reproducible.
     pub ord: u64,
-    /// Event name (dotted, `crate.subsystem.what`).
-    pub name: String,
-    /// Fields in emission order.
-    pub fields: Vec<(String, Value)>,
+    /// Event name (dotted, `crate.subsystem.what`). `Cow` so the emission
+    /// hot path borrows the `&'static str` literals every instrumentation
+    /// site uses instead of allocating a copy per event; parsed events
+    /// ([`Event::from_json_line`]) own their names.
+    pub name: Cow<'static, str>,
+    /// Fields in emission order. Keys are `Cow` for the same reason as
+    /// [`Event::name`]: literal keys are borrowed, parsed keys are owned.
+    pub fields: Vec<(Cow<'static, str>, Value)>,
 }
 
 impl Event {
@@ -99,11 +114,219 @@ impl Event {
         s.push('}');
         s
     }
+
+    /// Parses one line produced by [`Event::to_json_line`] — the inverse
+    /// the [`TraceStitcher`](crate::TraceStitcher) uses to merge flushed
+    /// replica streams. Accepts exactly the canonical emission subset:
+    /// a flat object whose first two members are `"ord"` (unsigned) and
+    /// `"event"` (string); remaining members become fields in order.
+    /// Number classification mirrors emission: a leading `-` parses as
+    /// [`Value::I64`], a `.`/`e`/`E` as [`Value::F64`], anything else as
+    /// [`Value::U64`]; `null` (a non-finite float on emission) parses as
+    /// `F64(NAN)`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first syntax problem encountered.
+    pub fn from_json_line(line: &str) -> Result<Event, String> {
+        let mut p = LineParser::new(line);
+        p.expect('{')?;
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        loop {
+            p.skip_ws();
+            if p.eat('}') {
+                break;
+            }
+            if !pairs.is_empty() {
+                p.expect(',')?;
+                p.skip_ws();
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            pairs.push((key, value));
+        }
+        p.skip_ws();
+        if !p.at_end() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        let mut pairs = pairs.into_iter();
+        let ord = match pairs.next() {
+            Some((k, Value::U64(v))) if k == "ord" => v,
+            other => return Err(format!("first member must be \"ord\": {other:?}")),
+        };
+        let name = match pairs.next() {
+            Some((k, Value::Str(v))) if k == "event" => v,
+            other => return Err(format!("second member must be \"event\": {other:?}")),
+        };
+        Ok(Event {
+            ord,
+            name: Cow::Owned(name),
+            fields: pairs.map(|(k, v)| (Cow::Owned(k), v)).collect(),
+        })
+    }
+
+    /// The named field's value, if present.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k.as_ref() == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A tiny cursor over one JSONL line — just enough JSON for the canonical
+/// event subset, kept private to [`Event::from_json_line`].
+struct LineParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn new(s: &'a str) -> Self {
+        LineParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c as u8) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at offset {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                            self.pos = end;
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.bytes[self.pos..].starts_with(b"true") => {
+                self.pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if self.bytes[self.pos..].starts_with(b"false") => {
+                self.pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if self.bytes[self.pos..].starts_with(b"null") => {
+                self.pos += 4;
+                Ok(Value::F64(f64::NAN))
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+                if text.contains(['.', 'e', 'E']) {
+                    text.parse::<f64>()
+                        .map(Value::F64)
+                        .map_err(|_| format!("bad number {text:?}"))
+                } else if text.starts_with('-') {
+                    text.parse::<i64>()
+                        .map(Value::I64)
+                        .map_err(|_| format!("bad number {text:?}"))
+                } else {
+                    text.parse::<u64>()
+                        .map(Value::U64)
+                        .map_err(|_| format!("bad number {text:?}"))
+                }
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
 }
 
 /// Number of shard buffers. More shards than typical worker counts, so
 /// concurrent builders rarely share a lock.
 const SHARDS: usize = 16;
+
+/// Default per-shard buffer capacity: 64 Ki events per shard (1 Mi events
+/// across the sink) — far above any single bench's un-flushed volume, but
+/// a hard ceiling for a replica that runs forever.
+pub(crate) const DEFAULT_SHARD_CAPACITY: usize = 65_536;
 
 static NEXT_THREAD_ORD: AtomicUsize = AtomicUsize::new(0);
 thread_local! {
@@ -122,18 +345,51 @@ fn my_shard() -> usize {
     })
 }
 
-/// Sharded per-thread event buffers with deterministic drain.
-#[derive(Debug, Default)]
+/// Sharded per-thread event buffers with deterministic drain and a
+/// drop-oldest per-shard bound.
+#[derive(Debug)]
 pub(crate) struct EventSink {
-    shards: [Mutex<Vec<Event>>; SHARDS],
+    shards: [Mutex<VecDeque<Event>>; SHARDS],
+    /// Per-shard capacity; the oldest buffered event in a full shard is
+    /// evicted to admit a new one.
+    capacity: usize,
+    /// Events evicted since construction (monotone).
+    dropped: AtomicU64,
+}
+
+impl Default for EventSink {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SHARD_CAPACITY)
+    }
 }
 
 impl EventSink {
-    pub fn push(&self, event: Event) {
-        self.shards[my_shard()]
+    /// A sink bounding each shard at `capacity` buffered events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventSink {
+            shards: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Buffers one event; returns how many old events were evicted to
+    /// make room (0 or 1).
+    pub fn push(&self, event: Event) -> u64 {
+        let mut shard = self.shards[my_shard()]
             .lock()
-            .expect("event shard poisoned")
-            .push(event);
+            .expect("event shard poisoned");
+        let mut evicted = 0u64;
+        while shard.len() >= self.capacity {
+            shard.pop_front();
+            evicted += 1;
+        }
+        shard.push_back(event);
+        drop(shard);
+        if evicted > 0 {
+            self.dropped.fetch_add(evicted, Ordering::Relaxed);
+        }
+        evicted
     }
 
     /// Number of buffered events.
@@ -144,13 +400,30 @@ impl EventSink {
             .sum()
     }
 
+    /// Events evicted by the buffer bound since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Removes and returns all events, stably sorted by ordinal. Events
     /// with equal ordinals keep their per-thread emission order (they all
     /// live in one shard by the single-writer-per-ordinal contract).
     pub fn drain_sorted(&self) -> Vec<Event> {
         let mut all = Vec::new();
         for shard in &self.shards {
-            all.append(&mut *shard.lock().expect("event shard poisoned"));
+            all.extend(shard.lock().expect("event shard poisoned").drain(..));
+        }
+        all.sort_by_key(|e| e.ord);
+        all
+    }
+
+    /// A sorted copy of the buffered events, left in place — the
+    /// `/v1/traces/{trace_id}` read path, which must not consume the
+    /// stream other readers will flush.
+    pub fn snapshot_sorted(&self) -> Vec<Event> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().expect("event shard poisoned").iter().cloned());
         }
         all.sort_by_key(|e| e.ord);
         all
@@ -169,7 +442,7 @@ impl EventSink {
 mod tests {
     use super::*;
 
-    fn ev(ord: u64, name: &str) -> Event {
+    fn ev(ord: u64, name: &'static str) -> Event {
         Event {
             ord,
             name: name.into(),
@@ -185,7 +458,7 @@ mod tests {
         sink.push(ev(1, "b"));
         sink.push(ev(0, "z"));
         let drained = sink.drain_sorted();
-        let names: Vec<&str> = drained.iter().map(|e| e.name.as_str()).collect();
+        let names: Vec<&str> = drained.iter().map(|e| e.name.as_ref()).collect();
         assert_eq!(names, ["z", "a", "b", "c"]);
         assert_eq!(sink.len(), 0, "drain empties the sink");
     }
@@ -208,6 +481,73 @@ mod tests {
             "{\"ord\": 7, \"event\": \"sample\", \"resamples\": 1, \"score\": 0.5, \
              \"tag\": \"a\\\"b\", \"ok\": true, \"delta\": -3}"
         );
+    }
+
+    #[test]
+    fn json_lines_round_trip_through_the_parser() {
+        let e = Event {
+            ord: 7,
+            name: "sample".into(),
+            fields: vec![
+                ("resamples".into(), Value::U64(1)),
+                ("score".into(), Value::F64(0.5)),
+                ("tag".into(), Value::Str("a\"b\\c\nd\u{1}é".into())),
+                ("ok".into(), Value::Bool(false)),
+                ("delta".into(), Value::I64(-3)),
+            ],
+        };
+        let parsed = Event::from_json_line(&e.to_json_line()).unwrap();
+        assert_eq!(parsed, e);
+        // Canonical form is a fixed point.
+        assert_eq!(parsed.to_json_line(), e.to_json_line());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "{\"ord\": 1}",
+            "{\"event\": \"x\", \"ord\": 1}",
+            "{\"ord\": -1, \"event\": \"x\"}",
+            "{\"ord\": 1, \"event\": \"x\"} trailing",
+            "{\"ord\": 1, \"event\": \"x\", \"k\": }",
+            "{\"ord\": 1, \"event\": \"unterminated",
+        ] {
+            assert!(Event::from_json_line(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn field_lookup_finds_named_fields() {
+        let e = ev(1, "x");
+        assert_eq!(e.field("k"), Some(&Value::U64(1)));
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn full_shards_evict_oldest_and_count_drops() {
+        let sink = EventSink::with_capacity(3);
+        for i in 0..5 {
+            sink.push(ev(i, "e"));
+        }
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.len(), 3);
+        let kept: Vec<u64> = sink.drain_sorted().iter().map(|e| e.ord).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest events are the ones evicted");
+    }
+
+    #[test]
+    fn snapshot_leaves_the_buffer_intact() {
+        let sink = EventSink::default();
+        sink.push(ev(2, "b"));
+        sink.push(ev(1, "a"));
+        let snap = sink.snapshot_sorted();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "a");
+        assert_eq!(sink.len(), 2, "snapshot must not drain");
+        assert_eq!(sink.drain_sorted().len(), 2);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The [`TelemetryHub`] registry and the [`TelemetryCtx`] handle threaded
 //! through the pipeline.
 
+use std::borrow::Cow;
 use std::collections::btree_map::Entry;
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
@@ -9,6 +10,7 @@ use crate::clock::{Clock, MonotonicClock};
 use crate::event::{Event, EventSink, Value};
 use crate::metrics::{Histogram, Metric, MetricsSnapshot};
 use crate::span::{SpanArena, SpanId, SpanSnapshot};
+use crate::trace::{self, TraceContext};
 
 /// Central telemetry registry: spans, metrics and events for one run.
 ///
@@ -56,11 +58,25 @@ impl TelemetryHub {
         }
     }
 
+    /// A hub whose event sink bounds each of its 16 shard buffers at
+    /// `per_shard_capacity` events, dropping the oldest buffered event
+    /// when a shard fills (counted in `telemetry.events.dropped`). The
+    /// default capacity is 65 536 per shard.
+    pub fn with_event_capacity(per_shard_capacity: usize) -> Self {
+        TelemetryHub {
+            clock: Arc::new(MonotonicClock::new()),
+            metrics: Mutex::new(MetricsSnapshot::default()),
+            spans: Mutex::new(SpanArena::default()),
+            events: EventSink::with_capacity(per_shard_capacity),
+        }
+    }
+
     /// The root context for instrumented code.
     pub fn ctx(&self) -> TelemetryCtx<'_> {
         TelemetryCtx {
             hub: Some(self),
             parent: None,
+            trace: None,
         }
     }
 
@@ -172,16 +188,39 @@ impl TelemetryHub {
     // ---- events --------------------------------------------------------
 
     /// Emits a structured event (see [`crate::Event`] for the ordinal
-    /// contract).
-    pub fn emit(&self, ord: u64, name: &str, fields: &[(&str, Value)]) {
-        self.events.push(Event {
+    /// contract). Names and field keys are `&'static str`: every
+    /// instrumentation site uses literals, and borrowing them keeps the
+    /// per-event allocation count down to the values that actually vary.
+    /// When the bounded sink evicts old events to admit this one, the
+    /// evictions are counted in `telemetry.events.dropped`.
+    pub fn emit(&self, ord: u64, name: &'static str, fields: &[(&'static str, Value)]) {
+        self.emit_owned(
             ord,
-            name: name.to_string(),
-            fields: fields
+            name,
+            fields
                 .iter()
-                .map(|(k, v)| (k.to_string(), v.clone()))
+                .map(|(k, v)| (Cow::Borrowed(*k), v.clone()))
                 .collect(),
+        );
+    }
+
+    /// [`emit`](TelemetryHub::emit) taking an already-built field vector;
+    /// the traced emission path assembles its stamped fields once and
+    /// hands them over without a second round of clones.
+    pub fn emit_owned(
+        &self,
+        ord: u64,
+        name: &'static str,
+        fields: Vec<(Cow<'static, str>, Value)>,
+    ) {
+        let dropped = self.events.push(Event {
+            ord,
+            name: Cow::Borrowed(name),
+            fields,
         });
+        if dropped > 0 {
+            self.add("telemetry.events.dropped", dropped);
+        }
     }
 
     /// Buffered (un-flushed) event count.
@@ -189,9 +228,20 @@ impl TelemetryHub {
         self.events.len()
     }
 
+    /// Events evicted by the sink's buffer bound since construction.
+    pub fn events_dropped(&self) -> u64 {
+        self.events.dropped()
+    }
+
     /// Drains all events, deterministically sorted.
     pub fn drain_events(&self) -> Vec<Event> {
         self.events.drain_sorted()
+    }
+
+    /// A sorted copy of the buffered events, leaving them in place (the
+    /// `/v1/traces/{trace_id}` read path).
+    pub fn events_snapshot(&self) -> Vec<Event> {
+        self.events.snapshot_sorted()
     }
 
     /// Drains all events and writes them as JSONL.
@@ -204,16 +254,24 @@ impl TelemetryHub {
     }
 }
 
-/// A cheap, copyable handle to an optional hub plus a parent span.
+/// A cheap, copyable handle to an optional hub plus a parent span and an
+/// optional distributed-trace identity.
 ///
 /// This is the type threaded through the stack: every instrumented function
 /// takes (or stores) a `TelemetryCtx` and the disabled default
 /// ([`TelemetryCtx::none`]) reduces each call to one `Option` check — the
 /// uninstrumented hot path stays the uninstrumented hot path.
+///
+/// When a [`TraceContext`] is attached ([`TelemetryCtx::with_trace`]),
+/// every event the context emits is stamped with three extra fields —
+/// `trace`, `span`, `parent` (hex) — linking it into the cross-process
+/// trace. Untraced contexts emit exactly the fields the caller passed, so
+/// pre-tracing event streams stay byte-identical.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TelemetryCtx<'a> {
     hub: Option<&'a TelemetryHub>,
     parent: Option<SpanId>,
+    trace: Option<TraceContext>,
 }
 
 impl<'a> TelemetryCtx<'a> {
@@ -222,12 +280,25 @@ impl<'a> TelemetryCtx<'a> {
         TelemetryCtx {
             hub: None,
             parent: None,
+            trace: None,
         }
     }
 
     /// `true` when a hub is attached.
     pub fn enabled(&self) -> bool {
         self.hub.is_some()
+    }
+
+    /// This context with `trace` attached: emitted events gain the
+    /// trace/span/parent fields.
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached trace identity, if any.
+    pub fn trace(&self) -> Option<TraceContext> {
+        self.trace
     }
 
     /// The attached hub, if any.
@@ -246,6 +317,7 @@ impl<'a> TelemetryCtx<'a> {
         SpanGuard {
             hub: self.hub,
             id: self.hub.map(|h| h.start_span(name, self.parent)),
+            trace: self.trace,
         }
     }
 
@@ -295,10 +367,34 @@ impl<'a> TelemetryCtx<'a> {
         }
     }
 
-    /// Emits a structured event.
-    pub fn emit(&self, ord: u64, name: &str, fields: &[(&str, Value)]) {
-        if let Some(hub) = self.hub {
-            hub.emit(ord, name, fields);
+    /// Emits a structured event. With a trace attached, the event is
+    /// stamped with `trace`/`span`/`parent` hex fields after the caller's
+    /// fields; without one, the emission is byte-for-byte what it was
+    /// before tracing existed.
+    pub fn emit(&self, ord: u64, name: &'static str, fields: &[(&'static str, Value)]) {
+        let Some(hub) = self.hub else {
+            return;
+        };
+        match self.trace {
+            None => hub.emit(ord, name, fields),
+            Some(t) => {
+                let mut stamped: Vec<(Cow<'static, str>, Value)> =
+                    Vec::with_capacity(fields.len() + 3);
+                stamped.extend(fields.iter().map(|(k, v)| (Cow::Borrowed(*k), v.clone())));
+                stamped.push((
+                    Cow::Borrowed(trace::FIELD_TRACE),
+                    Value::Str(trace::hex16(t.trace_id)),
+                ));
+                stamped.push((
+                    Cow::Borrowed(trace::FIELD_SPAN),
+                    Value::Str(trace::hex16(t.span_id)),
+                ));
+                stamped.push((
+                    Cow::Borrowed(trace::FIELD_PARENT),
+                    Value::Str(trace::hex16(t.parent_span_id)),
+                ));
+                hub.emit_owned(ord, name, stamped);
+            }
         }
     }
 }
@@ -308,14 +404,17 @@ impl<'a> TelemetryCtx<'a> {
 pub struct SpanGuard<'a> {
     hub: Option<&'a TelemetryHub>,
     id: Option<SpanId>,
+    trace: Option<TraceContext>,
 }
 
 impl<'a> SpanGuard<'a> {
-    /// A context parented under this span, for instrumenting callees.
+    /// A context parented under this span, for instrumenting callees
+    /// (any attached trace identity is carried through).
     pub fn ctx(&self) -> TelemetryCtx<'a> {
         TelemetryCtx {
             hub: self.hub,
             parent: self.id,
+            trace: self.trace,
         }
     }
 
@@ -415,6 +514,71 @@ mod tests {
         hub.gauge_set("g", 1.0);
         hub.gauge_set("g", 4.0);
         assert_eq!(hub.metrics_snapshot().gauge("g"), Some(4.0));
+    }
+
+    #[test]
+    fn traced_contexts_stamp_events_and_untraced_do_not() {
+        let hub = TelemetryHub::new();
+        hub.ctx().emit(0, "plain", &[("k", 1u64.into())]);
+        let t = TraceContext::root(7, 3);
+        hub.ctx()
+            .with_trace(t)
+            .emit(1, "traced", &[("k", 2u64.into())]);
+        let events = hub.drain_events();
+        assert_eq!(
+            events[0].to_json_line(),
+            "{\"ord\": 0, \"event\": \"plain\", \"k\": 1}",
+            "untraced emission must stay byte-identical"
+        );
+        assert_eq!(
+            events[1].field("trace"),
+            Some(&Value::Str(format!("{:016x}", t.trace_id)))
+        );
+        assert_eq!(
+            events[1].field("span"),
+            Some(&Value::Str(format!("{:016x}", t.span_id)))
+        );
+        assert_eq!(
+            events[1].field("parent"),
+            Some(&Value::Str("0000000000000000".to_string()))
+        );
+    }
+
+    #[test]
+    fn span_guard_contexts_carry_the_trace() {
+        let hub = TelemetryHub::new();
+        let t = TraceContext::root(1, 1);
+        let span = hub.ctx().with_trace(t).span("stage");
+        span.ctx().emit(0, "inner", &[]);
+        drop(span);
+        let events = hub.drain_events();
+        assert!(events[0].field("trace").is_some());
+    }
+
+    #[test]
+    fn event_capacity_bound_counts_drops_in_metrics() {
+        let hub = TelemetryHub::with_event_capacity(2);
+        for i in 0..5u64 {
+            hub.emit(i, "e", &[]);
+        }
+        assert_eq!(hub.event_count(), 2);
+        assert_eq!(hub.events_dropped(), 3);
+        assert_eq!(
+            hub.metrics_snapshot().counter("telemetry.events.dropped"),
+            3
+        );
+        let kept: Vec<u64> = hub.drain_events().iter().map(|e| e.ord).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn events_snapshot_does_not_drain() {
+        let hub = TelemetryHub::new();
+        hub.emit(1, "a", &[]);
+        assert_eq!(hub.events_snapshot().len(), 1);
+        assert_eq!(hub.event_count(), 1);
+        assert_eq!(hub.drain_events().len(), 1);
+        assert_eq!(hub.event_count(), 0);
     }
 
     #[test]

@@ -51,6 +51,8 @@ mod hub;
 mod json;
 mod metrics;
 mod span;
+mod stitch;
+mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use event::{Event, Value};
@@ -59,3 +61,5 @@ pub use metrics::{
     Histogram, Metric, MetricsSnapshot, HISTOGRAM_BUCKETS, HISTOGRAM_MAX, HISTOGRAM_MIN,
 };
 pub use span::{SpanId, SpanSnapshot};
+pub use stitch::{SpanNode, StitchReport, StitchedTrace, TraceStitcher};
+pub use trace::{hex16, TraceContext, FIELD_PARENT, FIELD_SPAN, FIELD_TRACE, TRACE_HEADER};

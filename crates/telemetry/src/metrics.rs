@@ -235,6 +235,65 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Prometheus text exposition (format 0.0.4) of the whole registry,
+    /// in name order.
+    ///
+    /// Dotted names are sanitized to `aqua_`-prefixed identifiers
+    /// (non-alphanumerics become `_`). Counters and gauges expose one
+    /// sample each; histograms expose cumulative `_bucket{le="..."}`
+    /// samples over the non-empty buckets plus the canonical `+Inf`
+    /// bucket, `_sum`, and `_count`. Deterministic: the same snapshot
+    /// always renders the same bytes.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut s = String::with_capacity(name.len() + 5);
+            s.push_str("aqua_");
+            for c in name.chars() {
+                s.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            s
+        }
+        fn fmt_f64(v: f64) -> String {
+            let mut s = String::new();
+            json::push_f64(&mut s, v);
+            if s == "null" {
+                s = "NaN".to_string();
+            }
+            s
+        }
+        let mut out = String::new();
+        for (name, m) in &self.metrics {
+            let prom = sanitize(name);
+            match m {
+                Metric::Counter(v) => {
+                    out.push_str(&format!("# TYPE {prom} counter\n{prom} {v}\n"));
+                }
+                Metric::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {prom} gauge\n{prom} {}\n", fmt_f64(*v)));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {prom} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        let (_, hi) = Histogram::bucket_bounds(i);
+                        out.push_str(&format!(
+                            "{prom}_bucket{{le=\"{}\"}} {cumulative}\n",
+                            fmt_f64(hi)
+                        ));
+                    }
+                    out.push_str(&format!("{prom}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!("{prom}_sum {}\n", fmt_f64(h.sum)));
+                    out.push_str(&format!("{prom}_count {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+
     /// JSON object `{name: value-or-histogram, ...}` in name order.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{");
@@ -352,6 +411,36 @@ mod tests {
         assert_eq!(a.counter("c"), 5);
         assert_eq!(a.gauge("g"), Some(9.0));
         assert_eq!(a.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_kinds() {
+        let mut s = MetricsSnapshot::default();
+        s.metrics
+            .insert("serve.red.requests.ingest.2xx".into(), Metric::Counter(7));
+        s.metrics.insert("pool.gauge".into(), Metric::Gauge(0.5));
+        let mut h = Histogram::new();
+        h.observe(0.001);
+        h.observe(0.002);
+        h.observe(1.5);
+        s.metrics
+            .insert("serve.red.latency_s.ingest".into(), Metric::Histogram(h));
+        let prom = s.to_prometheus();
+        assert!(prom.contains("# TYPE aqua_serve_red_requests_ingest_2xx counter"));
+        assert!(prom.contains("aqua_serve_red_requests_ingest_2xx 7"));
+        assert!(prom.contains("# TYPE aqua_pool_gauge gauge"));
+        assert!(prom.contains("aqua_pool_gauge 0.5"));
+        assert!(prom.contains("# TYPE aqua_serve_red_latency_s_ingest histogram"));
+        assert!(prom.contains("aqua_serve_red_latency_s_ingest_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("aqua_serve_red_latency_s_ingest_count 3"));
+        assert!(prom.contains("aqua_serve_red_latency_s_ingest_sum "));
+        // Bucket samples are cumulative: the last finite bucket holds all 3.
+        let last_finite = prom
+            .lines()
+            .rfind(|l| l.contains("_bucket{le=\"") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(last_finite.ends_with(" 3"), "{last_finite}");
+        assert_eq!(prom, s.to_prometheus(), "exposition must be deterministic");
     }
 
     #[test]
