@@ -149,6 +149,7 @@ pub fn decode_container(bytes: &[u8]) -> Result<&[u8], ArtifactError> {
     // Checksum first: a corrupted magic/version/length field should report
     // as corruption, not as a confusing structural error.
     let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    // audit: unwrap-ok(length checked against the 4-byte trailer split above)
     let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
     let computed = crc32(body);
     if stored != computed {
@@ -157,6 +158,7 @@ pub fn decode_container(bytes: &[u8]) -> Result<&[u8], ArtifactError> {
     if &body[..MAGIC.len()] != MAGIC {
         return Err(ArtifactError::BadMagic);
     }
+    // audit: unwrap-ok(slice is exactly 4 bytes by construction)
     let version = u32::from_le_bytes(body[MAGIC.len()..MAGIC.len() + 4].try_into().expect("4"));
     if version != FORMAT_VERSION {
         return Err(ArtifactError::VersionMismatch {
@@ -164,6 +166,7 @@ pub fn decode_container(bytes: &[u8]) -> Result<&[u8], ArtifactError> {
             supported: FORMAT_VERSION,
         });
     }
+    // audit: unwrap-ok(slice is exactly 8 bytes by construction)
     let len = u64::from_le_bytes(body[MAGIC.len() + 4..header].try_into().expect("8"));
     let payload = &body[header..];
     if payload.len() as u64 != len {

@@ -118,12 +118,14 @@ impl<'a> Reader<'a> {
     /// Little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, ArtifactError> {
         let b = self.take(4)?;
+        // audit: unwrap-ok(read_exact filled a 4-byte buffer)
         Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
     /// Little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, ArtifactError> {
         let b = self.take(8)?;
+        // audit: unwrap-ok(read_exact filled an 8-byte buffer)
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 

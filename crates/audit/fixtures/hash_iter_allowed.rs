@@ -1,0 +1,7 @@
+// Negative fixture: iteration is allowlisted with a reason.
+use std::collections::HashMap;
+
+pub fn total(by_zone: HashMap<String, f64>) -> f64 {
+    // audit: nondeterministic-ok(summation is order-independent)
+    by_zone.values().sum()
+}

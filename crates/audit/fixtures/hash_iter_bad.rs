@@ -1,0 +1,12 @@
+// Positive fixture: order-dependent iteration over hashed containers.
+use std::collections::{HashMap, HashSet};
+
+pub fn totals(by_zone: HashMap<String, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_zone, v) in &by_zone {
+        sum += v; // line 6: `for` over HashMap
+    }
+    let seen: HashSet<u32> = HashSet::new();
+    let _first = seen.iter().next(); // line 10: .iter() on HashSet
+    sum
+}

@@ -1,0 +1,6 @@
+// Negative fixture: ordered container, nothing to flag.
+use std::collections::BTreeMap;
+
+pub fn totals(by_zone: BTreeMap<String, f64>) -> f64 {
+    by_zone.values().sum()
+}

@@ -1,0 +1,6 @@
+// Positive fixture: raw std::sync import in a concurrent crate.
+use std::sync::Mutex; // line 2: raw std::sync
+
+pub struct Counter {
+    inner: Mutex<u64>,
+}

@@ -1,0 +1,6 @@
+// Negative fixture: primitives come through the crate sync facade.
+use crate::sync::Mutex;
+
+pub struct Counter {
+    inner: Mutex<u64>,
+}

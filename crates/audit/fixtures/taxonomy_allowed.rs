@@ -1,0 +1,5 @@
+// Negative fixture: undocumented name, explicitly allowlisted.
+pub fn record(hub: &Hub) {
+    // audit: taxonomy-ok(experimental counter, graduates next release)
+    hub.add("bogus.experimental_metric", 1);
+}

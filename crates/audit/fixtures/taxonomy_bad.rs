@@ -1,0 +1,4 @@
+// Positive fixture: an emission call site using an undocumented name.
+pub fn record(hub: &Hub) {
+    hub.add("bogus.unregistered_metric", 1); // line 3: not in taxonomy.txt
+}

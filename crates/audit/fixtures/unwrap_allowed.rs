@@ -1,0 +1,5 @@
+// Negative fixture: a justified panic, allowlisted.
+pub fn checked(xs: &[u32]) -> u32 {
+    // audit: unwrap-ok(len checked by caller contract, documented on the trait)
+    *xs.first().unwrap()
+}

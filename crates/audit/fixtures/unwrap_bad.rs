@@ -1,0 +1,12 @@
+// Positive fixture: panics in non-test library code.
+pub fn parse(s: &str) -> u32 {
+    let n = s.parse::<u32>().unwrap(); // line 3: .unwrap()
+    if n == 0 {
+        panic!("zero is not a valid id"); // line 5: panic!
+    }
+    n
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().expect("non-empty slice") // line 11: .expect()
+}

@@ -1,0 +1,15 @@
+// Negative fixture: unwrap/expect confined to test code.
+pub fn parse(s: &str) -> Option<u32> {
+    s.parse::<u32>().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses() {
+        assert_eq!(parse("7").unwrap(), 7);
+        parse("8").expect("eight parses");
+    }
+}

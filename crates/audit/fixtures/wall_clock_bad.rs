@@ -1,0 +1,8 @@
+// Positive fixture: wall-clock reads outside the Clock abstraction.
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> u64 {
+    let t0 = Instant::now(); // line 5: finding
+    let _wall = SystemTime::now(); // line 6: finding
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,5 @@
+// Negative fixture: time comes from an injected clock; no direct reads.
+pub fn measure(clock: &dyn Fn() -> u64) -> u64 {
+    let t0 = clock();
+    clock() - t0
+}

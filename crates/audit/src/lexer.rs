@@ -1,0 +1,420 @@
+//! A minimal token-level Rust lexer — just enough structure for the lint
+//! rules: identifiers, punctuation, string/char/number literals, lifetimes,
+//! with comments captured separately (allowlist directives live in them).
+//!
+//! Not a parser. It never needs the code to compile, only to tokenize, which
+//! is what lets the fixtures under `fixtures/` stay standalone.
+
+/// Token kind. Keywords are plain `Ident`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    /// Any string literal flavor (`"…"`, `r"…"`, `r#"…"#`, `b"…"`). The
+    /// token text is the *inner* content, escapes unprocessed.
+    Str,
+    Char,
+    Num,
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src`. Invalid UTF-8 inside literals is tolerated (bytes are
+/// replaced lossily when building token text).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'"' => {
+                let text = lex_plain_string(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+            }
+            b'r' | b'b' => {
+                if let Some((prefix_len, hashes)) = raw_string_lookahead(&cur) {
+                    for _ in 0..prefix_len {
+                        cur.bump();
+                    }
+                    let text = lex_raw_string(&mut cur, hashes);
+                    out.toks.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                    });
+                } else if b == b'b' && cur.peek_at(1) == Some(b'\'') {
+                    cur.bump();
+                    let text = lex_char(&mut cur);
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                    });
+                } else {
+                    lex_ident(&mut cur, &mut out, line);
+                }
+            }
+            b'\'' => {
+                // Lifetime or char literal: a lifetime is `'` + ident with no
+                // closing quote right after the ident.
+                let mut j = 1usize;
+                while cur.peek_at(j).is_some_and(is_ident_cont) {
+                    j += 1;
+                }
+                let is_lifetime = j > 1 && cur.peek_at(j) != Some(b'\'');
+                if is_lifetime {
+                    let start = cur.pos;
+                    for _ in 0..j {
+                        cur.bump();
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                        line,
+                    });
+                } else {
+                    let text = lex_char(&mut cur);
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                    });
+                }
+            }
+            _ if is_ident_start(b) => {
+                lex_ident(&mut cur, &mut out, line);
+            }
+            _ if b.is_ascii_digit() => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_cont) {
+                    cur.bump();
+                }
+                // Fractional part, but never swallow a `..` range.
+                if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                    cur.bump();
+                    while cur.peek().is_some_and(is_ident_cont) {
+                        cur.bump();
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Cursor sits on an identifier start byte (possibly a raw `r#ident`).
+fn lex_ident(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32) {
+    let start = cur.pos;
+    if cur.peek() == Some(b'r')
+        && cur.peek_at(1) == Some(b'#')
+        && cur.peek_at(2).is_some_and(is_ident_start)
+    {
+        cur.bump();
+        cur.bump();
+    }
+    while cur.peek().is_some_and(is_ident_cont) {
+        cur.bump();
+    }
+    out.toks.push(Tok {
+        kind: TokKind::Ident,
+        text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+        line,
+    });
+}
+
+/// Number of `#`s and total prefix length if the cursor sits on a raw/byte
+/// string opener (`r"`, `r#"`, `br"`, `b"`, …).
+fn raw_string_lookahead(cur: &Cursor<'_>) -> Option<(usize, u32)> {
+    let mut off = 0usize;
+    match cur.peek()? {
+        b'r' => off += 1,
+        b'b' => {
+            off += 1;
+            if cur.peek_at(off) == Some(b'r') {
+                off += 1;
+            }
+        }
+        _ => return None,
+    }
+    let mut hashes = 0u32;
+    while cur.peek_at(off) == Some(b'#') {
+        off += 1;
+        hashes += 1;
+    }
+    if cur.peek_at(off) == Some(b'"') {
+        // `b#` without quote is not a string; require quote after hashes.
+        Some((off + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Cursor sits just past the opening quote of a raw string; read until the
+/// closing quote followed by `hashes` hash marks.
+fn lex_raw_string(cur: &mut Cursor<'_>, hashes: u32) -> String {
+    let start = cur.pos;
+    let mut end = cur.pos;
+    while let Some(c) = cur.peek() {
+        if c == b'"' {
+            let mut ok = true;
+            for k in 0..hashes as usize {
+                if cur.peek_at(1 + k) != Some(b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                end = cur.pos;
+                cur.bump();
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+        cur.bump();
+        end = cur.pos;
+    }
+    String::from_utf8_lossy(&cur.src[start..end]).into_owned()
+}
+
+/// Cursor sits on the opening `"`.
+fn lex_plain_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump();
+    let start = cur.pos;
+    let mut end = cur.pos;
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+                end = cur.pos;
+            }
+            b'"' => {
+                end = cur.pos;
+                cur.bump();
+                break;
+            }
+            _ => {
+                cur.bump();
+                end = cur.pos;
+            }
+        }
+    }
+    String::from_utf8_lossy(&cur.src[start..end]).into_owned()
+}
+
+/// Cursor sits on the opening `'` of a char literal.
+fn lex_char(cur: &mut Cursor<'_>) -> String {
+    cur.bump();
+    let start = cur.pos;
+    let mut end = cur.pos;
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+                end = cur.pos;
+            }
+            b'\'' => {
+                end = cur.pos;
+                cur.bump();
+                break;
+            }
+            _ => {
+                cur.bump();
+                end = cur.pos;
+            }
+        }
+    }
+    String::from_utf8_lossy(&cur.src[start..end]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_idents_strings_comments() {
+        let lexed = lex("fn main() { let x = \"a.b\"; } // audit: unwrap-ok(demo)");
+        let idents: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "main", "let", "x"]);
+        let strs: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["a.b"]);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("unwrap-ok"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let lexed =
+            lex("let s: &'static str = r#\"x.y \"quoted\"\"#; let c = 'a'; let nl = '\\n';");
+        let strs: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["x.y \"quoted\""]);
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+        let chars: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["a", "\\n"]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_ranges() {
+        let lexed = lex("/* a /* b */ c */ for i in 0..10 { x[i] = 1.5; }");
+        assert_eq!(lexed.comments.len(), 1);
+        let nums: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5"]);
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

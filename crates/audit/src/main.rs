@@ -1,0 +1,70 @@
+//! CLI for the workspace determinism lints.
+//!
+//! ```text
+//! cargo run -p aqua-audit -- lint              # lint the whole workspace
+//! cargo run -p aqua-audit -- lint FILE...      # lint explicit files (all rules forced)
+//! cargo run -p aqua-audit -- taxonomy          # print the registry extracted from DESIGN.md
+//! cargo run -p aqua-audit -- taxonomy --write  # regenerate crates/audit/taxonomy.txt
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("aqua-audit: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = aqua_audit::find_workspace_root(&cwd)
+        .ok_or_else(|| "no workspace Cargo.toml found above the current directory".to_string())?;
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let paths: Vec<PathBuf> = args[1..].iter().map(PathBuf::from).collect();
+            let findings = if paths.is_empty() {
+                aqua_audit::run_workspace(&root)?
+            } else {
+                aqua_audit::run_files(&root, &paths)?
+            };
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("aqua-audit: clean");
+                Ok(true)
+            } else {
+                eprintln!("aqua-audit: {} finding(s)", findings.len());
+                Ok(false)
+            }
+        }
+        Some("taxonomy") => {
+            let write = args[1..].iter().any(|a| a == "--write");
+            let rendered = aqua_audit::regenerate_taxonomy(&root, write)?;
+            if write {
+                eprintln!(
+                    "aqua-audit: wrote {}",
+                    aqua_audit::taxonomy::registry_path(&root).display()
+                );
+            } else {
+                print!("{rendered}");
+            }
+            Ok(true)
+        }
+        _ => Err("usage: aqua-audit <lint [paths...] | taxonomy [--write]>".to_string()),
+    }
+}

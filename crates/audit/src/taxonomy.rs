@@ -1,0 +1,285 @@
+//! Telemetry-name taxonomy cross-check.
+//!
+//! The single source of truth for metric/span/event names is DESIGN.md §8
+//! and §12; the committed registry `crates/audit/taxonomy.txt` is its
+//! machine-extracted mirror. The lint fails when any of these drift:
+//!
+//! 1. a name literal at a telemetry emission call site is not in the
+//!    registry (new name never documented),
+//! 2. a registry entry no longer appears anywhere in library code (dead
+//!    documentation),
+//! 3. the registry and the DESIGN.md extraction disagree (someone edited
+//!    one without regenerating the other — fix with `aqua-audit taxonomy
+//!    --write`).
+//!
+//! Names are dotted lowercase paths (`serve.http.shed`). `{placeholder}`
+//! segments are compared literally, so code that emits
+//! `format!("serve.red.requests.{route}.{class}")` matches the registry
+//! entry `serve.red.requests.{route}.{class}` exactly.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use crate::lexer::TokKind;
+use crate::lint::{FileClass, FileCtx, Finding, Rule};
+
+/// Methods on `TelemetryHub`/`TelemetryCtx` whose string-literal arguments
+/// are telemetry names.
+const EMIT_FNS: [&str; 10] = [
+    "span",
+    "record_span",
+    "timer",
+    "add",
+    "observe",
+    "observe_many",
+    "gauge",
+    "gauge_set",
+    "emit",
+    "emit_owned",
+];
+
+/// A dotted telemetry name: at least two lowercase segments; non-leading
+/// segments may be `{placeholder}`; a final `*` wildcard is tolerated in
+/// prose but not expected in code.
+pub fn is_metric_name(s: &str) -> bool {
+    let segs: Vec<&str> = s.split('.').collect();
+    if segs.len() < 2 {
+        return false;
+    }
+    for (i, seg) in segs.iter().enumerate() {
+        let plain = seg
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+            && seg.bytes().next().is_some_and(|b| b.is_ascii_lowercase());
+        let placeholder = i > 0
+            && seg.len() > 2
+            && seg.starts_with('{')
+            && seg.ends_with('}')
+            && seg[1..seg.len() - 1]
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b == b'_');
+        let wildcard = i == segs.len() - 1 && i > 0 && *seg == "*";
+        if !(plain || placeholder || wildcard) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Extract taxonomy names from DESIGN.md: every backtick-quoted dotted name
+/// inside the §8 and §12 sections.
+pub fn extract_design_names(design: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let mut in_section = false;
+    for line in design.lines() {
+        if let Some(rest) = line.strip_prefix("## ") {
+            let num: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            in_section = num == "8" || num == "12";
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        for chunk in line.split('`').skip(1).step_by(2) {
+            if is_metric_name(chunk) {
+                names.insert(chunk.to_string());
+            }
+        }
+    }
+    names
+}
+
+/// Parse the committed registry file (one name per line; `#` comments).
+pub fn parse_registry(text: &str) -> BTreeMap<String, u32> {
+    let mut entries = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        entries.entry(line.to_string()).or_insert(i as u32 + 1);
+    }
+    entries
+}
+
+/// Render the registry file from a name set.
+pub fn render_registry(names: &BTreeSet<String>) -> String {
+    let mut out = String::from(
+        "# Telemetry name taxonomy — extracted from DESIGN.md §8/§12.\n\
+         # Regenerate with: cargo run -p aqua-audit -- taxonomy --write\n\
+         # The lint (cargo run -p aqua-audit -- lint) fails on drift in either direction.\n",
+    );
+    for n in names {
+        out.push_str(n);
+        out.push('\n');
+    }
+    out
+}
+
+/// Name literals found at telemetry emission call sites in one file, with
+/// their lines, plus every metric-shaped string literal anywhere in the file
+/// (used to prove registry entries are still alive).
+pub struct CodeNames {
+    pub call_sites: Vec<(String, u32)>,
+    pub mentions: BTreeSet<String>,
+}
+
+pub fn collect_code_names(ctx: &FileCtx) -> CodeNames {
+    let toks = &ctx.lexed.toks;
+    let mut call_sites = Vec::new();
+    let mut mentions = BTreeSet::new();
+    for i in 0..toks.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Str && is_metric_name(&t.text) {
+            mentions.insert(t.text.clone());
+        }
+        // `.f(` where f is an emission method: scan its argument region.
+        if t.kind == TokKind::Ident
+            && EMIT_FNS.contains(&t.text.as_str())
+            && i >= 1
+            && toks[i - 1].kind == TokKind::Punct
+            && toks[i - 1].text == "."
+            && toks
+                .get(i + 1)
+                .is_some_and(|p| p.kind == TokKind::Punct && p.text == "(")
+        {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                let tj = &toks[j];
+                if tj.kind == TokKind::Punct && tj.text == "(" {
+                    depth += 1;
+                } else if tj.kind == TokKind::Punct && tj.text == ")" {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tj.kind == TokKind::Str && is_metric_name(&tj.text) {
+                    call_sites.push((tj.text.clone(), tj.line));
+                }
+                j += 1;
+            }
+        }
+    }
+    CodeNames {
+        call_sites,
+        mentions,
+    }
+}
+
+/// The full cross-check over a linted workspace. `files` must already be
+/// lexed; `registry_path`/`design_path` are used only for finding anchors.
+pub struct TaxonomyInputs<'a> {
+    pub files: &'a [FileCtx],
+    pub registry: BTreeMap<String, u32>,
+    pub registry_path: PathBuf,
+    pub design_names: BTreeSet<String>,
+    pub design_path: PathBuf,
+}
+
+pub fn check(inputs: &TaxonomyInputs<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut all_mentions: BTreeSet<String> = BTreeSet::new();
+
+    for ctx in inputs.files {
+        if ctx.class == FileClass::Exempt {
+            continue;
+        }
+        let names = collect_code_names(ctx);
+        all_mentions.extend(names.mentions);
+        for (name, line) in names.call_sites {
+            if !inputs.registry.contains_key(&name) {
+                let finding = Finding {
+                    path: ctx.path.clone(),
+                    line,
+                    rule: Rule::Taxonomy,
+                    message: format!(
+                        "telemetry name `{name}` is not in the taxonomy registry; add it to DESIGN.md §8/§12 and run `aqua-audit taxonomy --write`"
+                    ),
+                };
+                // Reuse the per-file allowlist via a fresh check.
+                if !allowed(ctx, line) {
+                    findings.push(finding);
+                }
+            }
+        }
+    }
+
+    for (entry, line) in &inputs.registry {
+        if !all_mentions.contains(entry) {
+            findings.push(Finding {
+                path: inputs.registry_path.clone(),
+                line: *line,
+                rule: Rule::Taxonomy,
+                message: format!(
+                    "registry entry `{entry}` matches no string literal in library code; remove it from DESIGN.md §8/§12 and regenerate"
+                ),
+            });
+        }
+    }
+
+    for name in &inputs.design_names {
+        if !inputs.registry.contains_key(name) {
+            findings.push(Finding {
+                path: inputs.design_path.clone(),
+                line: 0,
+                rule: Rule::Taxonomy,
+                message: format!(
+                    "DESIGN.md documents `{name}` but the registry lacks it; run `aqua-audit taxonomy --write`"
+                ),
+            });
+        }
+    }
+    for entry in inputs.registry.keys() {
+        if !inputs.design_names.contains(entry) {
+            findings.push(Finding {
+                path: inputs.registry_path.clone(),
+                line: inputs.registry.get(entry).copied().unwrap_or(0),
+                rule: Rule::Taxonomy,
+                message: format!(
+                    "registry entry `{entry}` is not documented in DESIGN.md §8/§12; document it or regenerate the registry"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+fn allowed(ctx: &FileCtx, line: u32) -> bool {
+    let slug = Rule::Taxonomy.slug();
+    [line, line.saturating_sub(1)]
+        .iter()
+        .any(|l| ctx.allow.get(l).is_some_and(|s| s.contains(slug)))
+}
+
+/// Call-site-only check for explicit-path lint runs (fixtures): names must be
+/// registered, but stale-registry/DESIGN reconciliation is skipped.
+pub fn check_call_sites_only(files: &[FileCtx], registry: &BTreeMap<String, u32>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for ctx in files {
+        let names = collect_code_names(ctx);
+        for (name, line) in names.call_sites {
+            if !registry.contains_key(&name) && !allowed(ctx, line) {
+                findings.push(Finding {
+                    path: ctx.path.clone(),
+                    line,
+                    rule: Rule::Taxonomy,
+                    message: format!("telemetry name `{name}` is not in the taxonomy registry"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Locate DESIGN.md / taxonomy.txt relative to a workspace root.
+pub fn design_path(root: &Path) -> PathBuf {
+    root.join("DESIGN.md")
+}
+
+pub fn registry_path(root: &Path) -> PathBuf {
+    root.join("crates").join("audit").join("taxonomy.txt")
+}

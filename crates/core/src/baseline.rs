@@ -13,13 +13,16 @@
 //! runs the sweep greedily event-by-event. [`full_enumeration_count`]
 //! quantifies why the exhaustive multi-leak version is prohibitive.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use aqua_hydraulics::{solve_snapshot, LeakEvent, Scenario, Snapshot, SolverOptions};
 use aqua_net::{Network, NodeId};
 use aqua_sensing::SensorSet;
+use aqua_telemetry::Clock;
 
 use crate::error::AquaError;
+use crate::sync::Arc;
+use crate::timing::SharedClock;
 
 /// Enumeration-based leak localization via simulation matching.
 #[derive(Debug, Clone)]
@@ -31,6 +34,7 @@ pub struct EnumerationBaseline<'a> {
     pub ec_grid: Vec<f64>,
     /// Hydraulic options for candidate simulations.
     pub solver: SolverOptions,
+    clock: SharedClock,
 }
 
 /// Result of a baseline localization.
@@ -55,7 +59,17 @@ impl<'a> EnumerationBaseline<'a> {
             sensors,
             ec_grid: vec![0.003, 0.006, 0.012, 0.018],
             solver: SolverOptions::default(),
+            clock: SharedClock::default(),
         }
+    }
+
+    /// Replaces the elapsed-time source; tests inject a
+    /// [`ManualClock`](aqua_telemetry::ManualClock) so
+    /// [`BaselineResult::elapsed`] stays reproducible.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = SharedClock::new(clock);
+        self
     }
 
     /// Sensor deltas of a candidate scenario against the leak-free state.
@@ -93,7 +107,7 @@ impl<'a> EnumerationBaseline<'a> {
             self.sensors.len(),
             "observation length must equal sensor count"
         );
-        let start = Instant::now();
+        let start = self.clock.now_ns();
         let base = solve_snapshot(self.net, &Scenario::default(), t, &self.solver)?;
         let junctions = self.net.junction_ids();
 
@@ -131,7 +145,7 @@ impl<'a> EnumerationBaseline<'a> {
             leak_nodes: chosen.iter().map(|l| l.node).collect(),
             residual: best_residual,
             simulations,
-            elapsed: start.elapsed(),
+            elapsed: self.clock.elapsed_since(start),
         })
     }
 }

@@ -54,11 +54,15 @@ pub fn plan_isolation(
     }
 
     let snap = solve_snapshot(net, scenario, t, solver)?;
-    let shed_demand: f64 = zone.iter().map(|&n| snap.demands[n.index()]).sum();
-    let stopped_leakage: f64 = zone.iter().map(|&n| snap.emitter_flow(n)).sum();
-
-    let mut isolated_nodes: Vec<NodeId> = zone.into_iter().collect();
+    // Sort before the float sums: f64 addition is non-associative, so
+    // summing in hash order would make the totals run-dependent.
+    let mut isolated_nodes: Vec<NodeId> = zone.into_iter().collect(); // audit: nondeterministic-ok(sorted on the next line)
     isolated_nodes.sort();
+    let shed_demand: f64 = isolated_nodes
+        .iter()
+        .map(|&n| snap.demands[n.index()])
+        .sum();
+    let stopped_leakage: f64 = isolated_nodes.iter().map(|&n| snap.emitter_flow(n)).sum();
     Ok(IsolationPlan {
         close_links,
         isolated_nodes,

@@ -48,7 +48,11 @@ pub mod monitor;
 mod pipeline;
 pub mod registry;
 pub mod scenario;
+pub mod shard;
+pub mod slot;
 pub mod swap;
+pub mod sync;
+mod timing;
 
 pub use artifact::ProfileArtifact;
 pub use error::AquaError;

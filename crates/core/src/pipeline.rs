@@ -1,15 +1,17 @@
 //! The two-phase AquaSCALE pipeline (Algorithms 1 and 2).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use aqua_fusion::{tune_events, Clique, TuningConfig, TuningOutcome};
 use aqua_hydraulics::SolverOptions;
 use aqua_ml::{Matrix, ModelKind, MultiOutputModel, Scaler};
 use aqua_net::{Network, NodeId};
 use aqua_sensing::{DatasetBuilder, FeatureConfig, LeakDataset, SensorSet};
-use aqua_telemetry::TelemetryCtx;
+use aqua_telemetry::{Clock, TelemetryCtx};
 
 use crate::error::AquaError;
+use crate::sync::Arc;
+use crate::timing::SharedClock;
 
 /// Configuration of an AquaSCALE deployment.
 #[derive(Debug, Clone)]
@@ -151,6 +153,7 @@ pub struct AquaScale<'a> {
     net: &'a Network,
     config: AquaScaleConfig,
     tel: TelemetryCtx<'a>,
+    clock: SharedClock,
 }
 
 impl<'a> AquaScale<'a> {
@@ -160,7 +163,18 @@ impl<'a> AquaScale<'a> {
             net,
             config,
             tel: TelemetryCtx::none(),
+            clock: SharedClock::default(),
         }
+    }
+
+    /// Replaces the elapsed-time source behind
+    /// [`ProfileModel::training_time`] and [`Inference::latency`]; tests
+    /// inject a [`ManualClock`](aqua_telemetry::ManualClock) so latency
+    /// assertions stay reproducible.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = SharedClock::new(clock);
+        self
     }
 
     /// Attaches a telemetry context: Phase I emits `core.phase1` spans
@@ -233,15 +247,18 @@ impl<'a> AquaScale<'a> {
     pub fn train_profile(&self) -> Result<ProfileModel, AquaError> {
         let phase = self.tel.span("core.phase1");
         let tel = phase.ctx();
-        let start = Instant::now();
+        let start = self.clock.now_ns();
         let dataset =
             self.generate_dataset_traced(self.config.train_samples, self.config.seed, tel)?;
         let result = self.train_profile_on_traced(&dataset, tel).map(|mut p| {
-            p.training_time = start.elapsed();
+            p.training_time = self.clock.elapsed_since(start);
             p
         });
         if result.is_ok() {
-            tel.observe("core.pipeline.phase1_s", start.elapsed().as_secs_f64());
+            tel.observe(
+                "core.pipeline.phase1_s",
+                self.clock.elapsed_since(start).as_secs_f64(),
+            );
         }
         result
     }
@@ -257,7 +274,7 @@ impl<'a> AquaScale<'a> {
         dataset: &LeakDataset,
         tel: TelemetryCtx<'a>,
     ) -> Result<ProfileModel, AquaError> {
-        let start = Instant::now();
+        let start = self.clock.now_ns();
         let scaler = Scaler::fit(&dataset.x);
         let x = scaler.transform(&dataset.x);
         let model = MultiOutputModel::fit_traced(
@@ -273,7 +290,7 @@ impl<'a> AquaScale<'a> {
             scaler,
             junctions: dataset.junctions.clone(),
             sensors: self.sensors(),
-            training_time: start.elapsed(),
+            training_time: self.clock.elapsed_since(start),
         })
     }
 
@@ -289,7 +306,7 @@ impl<'a> AquaScale<'a> {
         features: &[f64],
         external: &ExternalObservations,
     ) -> Result<Inference, AquaError> {
-        let start = Instant::now();
+        let start = self.clock.now_ns();
         let mut row = features.to_vec();
         profile.scaler.transform_row(&mut row);
         let p1 = profile.model.predict_proba_one(&row)?;
@@ -315,7 +332,7 @@ impl<'a> AquaScale<'a> {
             .filter(|(&on, _)| on)
             .map(|(_, &j)| j)
             .collect();
-        let latency = start.elapsed();
+        let latency = self.clock.elapsed_since(start);
         if self.tel.enabled() {
             self.tel.add("core.infer.count", 1);
             self.tel

@@ -8,8 +8,7 @@
 //! hosted sessions by network id behind sharded locks, so concurrent
 //! requests against *different* sessions never contend on one mutex.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use crate::sync::Arc;
 
 use aqua_artifact::{Codec, SectionReader, SectionWriter, Writer};
 use aqua_net::Network;
@@ -20,6 +19,7 @@ use crate::artifact::ProfileArtifact;
 use crate::error::AquaError;
 use crate::monitor::{Detection, SessionState};
 use crate::pipeline::{AquaScale, AquaScaleConfig, ExternalObservations, Inference, ProfileModel};
+use crate::shard::ShardedMap;
 use crate::swap::ModelHandle;
 
 /// Section names of a session checkpoint container. Deliberately disjoint
@@ -250,9 +250,10 @@ pub fn checkpoint_meta(bytes: &[u8]) -> Result<(String, usize, u64), AquaError> 
 const SHARDS: usize = 8;
 
 /// Concurrent map of hosted sessions keyed by session id, sharded so
-/// requests against different sessions rarely share a lock.
+/// requests against different sessions rarely share a lock (see
+/// [`ShardedMap`]).
 pub struct SessionRegistry {
-    shards: Vec<Mutex<HashMap<String, HostedSession>>>,
+    sessions: ShardedMap<HostedSession>,
 }
 
 impl Default for SessionRegistry {
@@ -265,66 +266,40 @@ impl SessionRegistry {
     /// An empty registry.
     pub fn new() -> SessionRegistry {
         SessionRegistry {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            sessions: ShardedMap::new(SHARDS),
         }
-    }
-
-    fn shard(&self, id: &str) -> &Mutex<HashMap<String, HostedSession>> {
-        // FNV-1a; stable across runs so shard assignment is deterministic.
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in id.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        &self.shards[(h % SHARDS as u64) as usize]
-    }
-
-    fn lock(
-        m: &Mutex<HashMap<String, HostedSession>>,
-    ) -> std::sync::MutexGuard<'_, HashMap<String, HostedSession>> {
-        // A worker that panicked mid-request must not take the whole
-        // registry down with it.
-        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Registers (or replaces) a session under `id`.
     pub fn insert(&self, id: impl Into<String>, session: HostedSession) {
-        let id = id.into();
-        Self::lock(self.shard(&id)).insert(id, session);
+        self.sessions.insert(id, session);
     }
 
     /// Removes the session under `id`; returns whether one existed.
     pub fn remove(&self, id: &str) -> bool {
-        Self::lock(self.shard(id)).remove(id).is_some()
+        self.sessions.remove(id).is_some()
     }
 
     /// Runs `f` with exclusive access to the session under `id`. Returns
     /// `None` when no such session exists. Only the owning shard is locked
     /// for the duration.
     pub fn with_session<R>(&self, id: &str, f: impl FnOnce(&mut HostedSession) -> R) -> Option<R> {
-        let mut shard = Self::lock(self.shard(id));
-        shard.get_mut(id).map(f)
+        self.sessions.with(id, f)
     }
 
     /// All registered session ids, sorted.
     pub fn ids(&self) -> Vec<String> {
-        let mut ids: Vec<String> = self
-            .shards
-            .iter()
-            .flat_map(|s| Self::lock(s).keys().cloned().collect::<Vec<_>>())
-            .collect();
-        ids.sort();
-        ids
+        self.sessions.keys()
     }
 
     /// Number of hosted sessions.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| Self::lock(s).len()).sum()
+        self.sessions.len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.sessions.is_empty()
     }
 }
 

@@ -16,11 +16,12 @@
 //! prediction — all *before* the cut-over. Any failure leaves the previous
 //! snapshot serving, untouched.
 
-use std::sync::{Arc, RwLock};
+use crate::sync::Arc;
 
 use crate::artifact::ProfileArtifact;
 use crate::error::AquaError;
 use crate::pipeline::{AquaScale, AquaScaleConfig, ExternalObservations, ProfileModel};
+use crate::slot::VersionedSlot;
 use aqua_net::Network;
 
 /// One immutable, shareable version of a deployed model: the trained
@@ -41,18 +42,18 @@ pub struct ProfileSnapshot {
 /// holds the same handle, so one successful install upgrades the whole
 /// tenant at once.
 pub struct ModelHandle {
-    slot: RwLock<Arc<ProfileSnapshot>>,
+    slot: VersionedSlot<ProfileSnapshot>,
 }
 
 impl ModelHandle {
     /// Wraps an initial deployment as version 1.
     pub fn new(config: AquaScaleConfig, profile: ProfileModel) -> ModelHandle {
         ModelHandle {
-            slot: RwLock::new(Arc::new(ProfileSnapshot {
+            slot: VersionedSlot::new(ProfileSnapshot {
                 version: 1,
                 config,
                 profile,
-            })),
+            }),
         }
     }
 
@@ -70,17 +71,12 @@ impl ModelHandle {
     /// `Arc` clone; callers keep the snapshot for as long as they need it,
     /// unaffected by concurrent swaps.
     pub fn snapshot(&self) -> Arc<ProfileSnapshot> {
-        Arc::clone(&self.read())
+        self.slot.get()
     }
 
     /// The current live version.
     pub fn version(&self) -> u64 {
-        self.read().version
-    }
-
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, Arc<ProfileSnapshot>> {
-        // Lock poisoning cannot corrupt an Arc swap; keep serving.
-        self.slot.read().unwrap_or_else(|p| p.into_inner())
+        self.slot.get().version
     }
 
     /// Validates and installs a candidate `.aquaprof`, returning the new
@@ -116,15 +112,16 @@ impl ModelHandle {
         let profile = artifact.into_profile();
         canary_predict(net, &config, &profile)?;
 
-        let next = Arc::new(ProfileSnapshot {
-            version: live.version + 1,
+        // The successor version is derived *inside* the update closure,
+        // under the write lock: two concurrent installs that both validated
+        // against the same live snapshot still land distinct, strictly
+        // increasing versions (pinned by `model_swap` as a regression).
+        let next = self.slot.update(|current| ProfileSnapshot {
+            version: current.version + 1,
             config,
             profile,
         });
-        let version = next.version;
-        let mut slot = self.slot.write().unwrap_or_else(|p| p.into_inner());
-        *slot = next;
-        Ok(version)
+        Ok(next.version)
     }
 }
 

@@ -1,0 +1,100 @@
+//! Model-checked interleavings of [`aqua_core::shard::ShardedMap`] — the
+//! sharded session substrate behind `SessionRegistry`.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg aqua_model_check" cargo test -p aqua-core --test model_registry
+//! ```
+//!
+//! Invariants: per-key mutations through `with` are never lost while other
+//! threads insert/remove disjoint keys or enumerate the whole map
+//! (checkpoint-style sweeps), and whole-map enumeration never deadlocks
+//! against per-shard access.
+
+#![cfg(aqua_model_check)]
+
+use std::sync::Arc;
+
+use aqua_core::shard::ShardedMap;
+use interlock::{thread, Explorer};
+
+#[test]
+fn with_mutations_survive_concurrent_churn() {
+    let report = Explorer::exhaustive().with_max_schedules(50_000).run(|| {
+        let map: Arc<ShardedMap<u64>> = Arc::new(ShardedMap::new(2));
+        map.insert("stable", 0);
+
+        let mutator = {
+            let map = Arc::clone(&map);
+            thread::spawn(move || {
+                map.with("stable", |v| *v += 1);
+            })
+        };
+        let churner = {
+            let map = Arc::clone(&map);
+            thread::spawn(move || {
+                map.insert("ephemeral", 99);
+                map.remove("ephemeral")
+            })
+        };
+
+        mutator.join().unwrap();
+        let removed = churner.join().unwrap();
+        assert_eq!(removed, Some(99), "churner lost its own insert");
+        assert_eq!(
+            map.with("stable", |v| *v),
+            Some(1),
+            "a with-mutation was lost"
+        );
+        assert_eq!(map.keys(), vec!["stable".to_string()]);
+    });
+    println!(
+        "model_registry::churn: {} schedules ({} distinct), exhausted={}",
+        report.schedules, report.distinct, report.exhausted
+    );
+    assert!(
+        report.distinct >= 100,
+        "only {} distinct schedules",
+        report.distinct
+    );
+}
+
+#[test]
+fn whole_map_sweep_vs_shard_access() {
+    // A checkpoint-style sweep (len + keys, locking every shard in turn)
+    // racing per-key access must neither deadlock nor observe an impossible
+    // state.
+    let report = Explorer::exhaustive().with_max_schedules(50_000).run(|| {
+        let map: Arc<ShardedMap<u64>> = Arc::new(ShardedMap::new(2));
+        map.insert("a", 1);
+
+        let sweeper = {
+            let map = Arc::clone(&map);
+            thread::spawn(move || map.len())
+        };
+        let writer = {
+            let map = Arc::clone(&map);
+            thread::spawn(move || {
+                map.insert("b", 2);
+            })
+        };
+
+        let len = sweeper.join().unwrap();
+        writer.join().unwrap();
+        assert!(
+            (1..=2).contains(&len),
+            "sweep saw an impossible size: len={len}"
+        );
+        assert_eq!(map.len(), 2, "final state lost a key");
+    });
+    println!(
+        "model_registry::sweep: {} schedules ({} distinct), exhausted={}",
+        report.schedules, report.distinct, report.exhausted
+    );
+    assert!(
+        report.distinct >= 100,
+        "only {} distinct schedules",
+        report.distinct
+    );
+}

@@ -1,0 +1,127 @@
+//! Model-checked interleavings of [`aqua_core::slot::VersionedSlot`] — the
+//! hot-swap cut-over used by `ModelHandle::install`.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg aqua_model_check" cargo test -p aqua-core --test model_swap
+//! ```
+//!
+//! Invariants: concurrent installs land strictly increasing, distinct
+//! versions (no torn or duplicated swap), and a concurrent reader only ever
+//! observes fully published snapshots. The suite also pins the historical
+//! read-version-then-write race as a regression: derive the successor
+//! version from a snapshot taken *before* the write lock and the checker
+//! finds the duplicated version within a handful of schedules.
+
+#![cfg(aqua_model_check)]
+
+use std::sync::Arc;
+
+use aqua_core::slot::VersionedSlot;
+use interlock::{replay, thread, Explorer, FailureKind};
+
+#[test]
+fn concurrent_installs_never_duplicate_versions() {
+    let report = Explorer::exhaustive().with_max_schedules(50_000).run(|| {
+        let slot: Arc<VersionedSlot<u64>> = Arc::new(VersionedSlot::new(1));
+
+        let installers: Vec<_> = (0..2)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                // The fixed protocol: the successor version is derived
+                // inside the update closure, under the write lock.
+                thread::spawn(move || *slot.update(|v| v + 1))
+            })
+            .collect();
+
+        let mut versions: Vec<u64> = installers.into_iter().map(|h| h.join().unwrap()).collect();
+        versions.sort_unstable();
+        assert_eq!(versions, vec![2, 3], "installs duplicated a version");
+        assert_eq!(*slot.get(), 3, "an install was lost");
+    });
+    println!(
+        "model_swap::no_duplicate_versions: {} schedules ({} distinct), exhausted={}",
+        report.schedules, report.distinct, report.exhausted
+    );
+    assert!(
+        report.distinct >= 100,
+        "only {} distinct schedules",
+        report.distinct
+    );
+}
+
+#[test]
+fn readers_only_see_published_snapshots() {
+    let report = Explorer::exhaustive().with_max_schedules(50_000).run(|| {
+        let slot: Arc<VersionedSlot<u64>> = Arc::new(VersionedSlot::new(1));
+
+        let installer = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || *slot.update(|v| v + 1))
+        };
+        let reader = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || *slot.get())
+        };
+
+        assert_eq!(installer.join().unwrap(), 2);
+        let seen = reader.join().unwrap();
+        assert!(seen == 1 || seen == 2, "reader saw a torn snapshot: {seen}");
+        assert_eq!(*slot.get(), 2);
+    });
+    println!(
+        "model_swap::published_snapshots: {} schedules ({} distinct), exhausted={}",
+        report.schedules, report.distinct, report.exhausted
+    );
+    assert!(
+        report.distinct >= 100,
+        "only {} distinct schedules",
+        report.distinct
+    );
+}
+
+/// The pre-fix `ModelHandle::install` protocol: snapshot the live version,
+/// validate, then publish `snapshot_version + 1` — the version read happens
+/// *outside* the write lock.
+fn racy_install(slot: &VersionedSlot<u64>) -> u64 {
+    let live = *slot.get();
+    let next = live + 1;
+    slot.update(|_| next);
+    next
+}
+
+#[test]
+fn regression_read_then_write_race_is_caught_and_replayable() {
+    let run = || {
+        let slot: Arc<VersionedSlot<u64>> = Arc::new(VersionedSlot::new(1));
+        let installers: Vec<_> = (0..2)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || racy_install(&slot))
+            })
+            .collect();
+        let mut versions: Vec<u64> = installers.into_iter().map(|h| h.join().unwrap()).collect();
+        versions.sort_unstable();
+        assert_eq!(versions, vec![2, 3], "installs duplicated a version");
+    };
+
+    let failure = Explorer::exhaustive()
+        .check(run)
+        .expect_err("the racy protocol must fail under some schedule");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("duplicated a version"),
+        "unexpected failure: {failure}"
+    );
+
+    // Pin: replaying the discovered choice vector reproduces the exact
+    // interleaving (both installers read version 1 before either writes).
+    let replayed = replay(&failure.choices, run).expect_err("replay must reproduce the race");
+    assert_eq!(replayed.kind, FailureKind::Panic);
+    assert_eq!(replayed.choices, failure.choices);
+    println!(
+        "model_swap::regression pinned schedule: {:?}",
+        failure.choices
+    );
+}

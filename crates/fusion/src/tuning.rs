@@ -104,16 +104,14 @@ pub fn tune_events(
         if consistent {
             continue;
         }
-        let v_star = clique
+        let Some(v_star) = clique
             .members
             .iter()
             .copied()
-            .max_by(|&a, &b| {
-                binary_entropy(p1[a])
-                    .partial_cmp(&binary_entropy(p1[b]))
-                    .expect("finite entropies")
-            })
-            .expect("cliques are non-empty");
+            .max_by(|&a, &b| binary_entropy(p1[a]).total_cmp(&binary_entropy(p1[b])))
+        else {
+            continue;
+        };
         if binary_entropy(p1[v_star]) > config.gamma_threshold {
             p1[v_star] = 1.0;
             predicted[v_star] = true;

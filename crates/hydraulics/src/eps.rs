@@ -140,6 +140,7 @@ impl<'a> ExtendedPeriodSim<'a> {
                     .iter()
                     .find(|(n, _)| *n == id)
                     .map(|&(_, l)| l)
+                    // audit: unwrap-ok(id comes from the tank index built over tank nodes)
                     .unwrap_or_else(|| self.net.node(id).as_tank().expect("tank").init_level)
             })
             .collect();
@@ -159,6 +160,7 @@ impl<'a> ExtendedPeriodSim<'a> {
             // Integrate tank levels with the net inflow of this step.
             level_history.push(levels.clone());
             for (k, &tid) in tank_ids.iter().enumerate() {
+                // audit: unwrap-ok(tid comes from the tank index built over tank nodes)
                 let tank = self.net.node(tid).as_tank().expect("tank");
                 let mut inflow = 0.0;
                 for (lid, link) in self.net.iter_links() {

@@ -164,6 +164,7 @@ impl SparseBuilder {
         let mut values: Vec<f64> = Vec::with_capacity(self.triplets.len());
         for &(i, j, v) in &self.triplets {
             if row_of.last() == Some(&i) && col_idx.last() == Some(&j) {
+                // audit: unwrap-ok(push on the line above guarantees non-empty)
                 *values.last_mut().expect("non-empty alongside col_idx") += v;
             } else {
                 row_of.push(i);

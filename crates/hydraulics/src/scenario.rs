@@ -6,7 +6,7 @@
 //! overrides (e.g. valve closures) and tank level overrides — without
 //! mutating the shared network.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aqua_net::{LinkId, LinkStatus, NodeId};
 use serde::{Deserialize, Serialize};
@@ -102,8 +102,8 @@ impl Scenario {
 
     /// Emitters active at time `t`, merged per node (concurrent leaks at the
     /// same node sum their effective areas).
-    pub fn active_emitters(&self, t: u64) -> HashMap<NodeId, Emitter> {
-        let mut out: HashMap<NodeId, Emitter> = HashMap::new();
+    pub fn active_emitters(&self, t: u64) -> BTreeMap<NodeId, Emitter> {
+        let mut out: BTreeMap<NodeId, Emitter> = BTreeMap::new();
         for leak in self.leaks.iter().filter(|l| l.active_at(t)) {
             out.entry(leak.node)
                 .and_modify(|e| e.coefficient += leak.coefficient)

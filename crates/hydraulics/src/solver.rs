@@ -7,7 +7,7 @@
 //! emitters enter the node equations as pressure-dependent demands with
 //! their own linearization.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aqua_net::{LinkKind, LinkStatus, Network, NodeId, NodeKind, ValveKind};
 use aqua_telemetry::TelemetryCtx;
@@ -182,7 +182,7 @@ fn solve_core(
 
     // Fixed heads: reservoirs at their head, tanks at elevation + level
     // (overridden level if the scenario carries one).
-    let tank_levels: HashMap<usize, f64> = scenario
+    let tank_levels: BTreeMap<usize, f64> = scenario
         .tank_levels
         .iter()
         .map(|&(id, lvl)| (id.index(), lvl))
@@ -236,7 +236,7 @@ fn solve_core(
         ws.demands[i] = net.demand_at(NodeId::from_index(i), t) * scale;
     }
 
-    let emitters: HashMap<NodeId, Emitter> = scenario.active_emitters(t);
+    let emitters: BTreeMap<NodeId, Emitter> = scenario.active_emitters(t);
 
     // Check-valve / pump reverse-flow bookkeeping: links temporarily closed
     // by status logic this solve.

@@ -152,6 +152,7 @@ impl SolverWorkspace {
             .collect();
         let sparse = SparseSym::symbolic(n_junc, &pairs);
         let diag_slot: Vec<usize> = (0..n_junc)
+            // audit: unwrap-ok(pattern is built with every diagonal slot)
             .map(|r| sparse.slot_of(r, r).expect("diagonal always in pattern"))
             .collect();
         let link_slots: Vec<LinkSlots> = link_rows
@@ -161,7 +162,9 @@ impl SolverWorkspace {
                 to_diag: rt.map(|r| diag_slot[r]),
                 off: match (rf, rt) {
                     (Some(a), Some(b)) if a != b => Some((
+                        // audit: unwrap-ok(pattern is built from this same adjacency)
                         sparse.slot_of(a, b).expect("off-diagonal in pattern"),
+                        // audit: unwrap-ok(pattern is symmetric by construction)
                         sparse.slot_of(b, a).expect("mirror in pattern"),
                     )),
                     _ => None,
@@ -225,6 +228,7 @@ impl SolverWorkspace {
     /// Copies the warm start into the working `flows`/`heads` buffers.
     /// Caller must have checked [`Self::warm_is_usable`].
     pub(crate) fn load_warm(&mut self) {
+        // audit: unwrap-ok(warm is Some: populate() ran before this branch)
         let warm = self.warm.as_ref().expect("checked by caller");
         self.flows.clone_from(&warm.flows);
         for &j in &self.junctions {

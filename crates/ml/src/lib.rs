@@ -41,7 +41,9 @@ mod matrix;
 pub mod metrics;
 mod multioutput;
 mod svm;
+pub mod sync;
 mod tree;
+pub mod work;
 
 pub use binned::{BinnedDataset, MAX_BINS};
 pub use boosting::{EarlyStopping, GradientBoosting, GradientBoostingConfig};

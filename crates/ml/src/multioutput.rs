@@ -15,8 +15,6 @@
 //! quantized **once** into a shared read-only [`BinnedDataset`] under the
 //! `ml.train.bin` span, instead of once per output.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use aqua_telemetry::{TelemetryCtx, Value};
 use crossbeam::thread;
@@ -25,6 +23,7 @@ use crate::binned::BinnedDataset;
 use crate::classifier::{Classifier, ModelKind};
 use crate::error::MlError;
 use crate::matrix::Matrix;
+use crate::work::WorkQueue;
 
 /// A bank of per-output binary classifiers sharing one feature matrix —
 /// the paper's profile model `f = {f_v : v ∈ V}` (Algorithm 1).
@@ -153,7 +152,7 @@ impl MultiOutputModel {
             // derivation included), and results land in index slots — the
             // trained bank is identical for any claim interleaving.
             type WorkerOut = Vec<(usize, Result<Box<dyn Classifier>, MlError>)>;
-            let queue = AtomicUsize::new(0);
+            let queue = WorkQueue::new(n_out);
             let queue = &queue;
             let fit_one = &fit_one;
             let worker_results: Vec<WorkerOut> = thread::scope(|s| {
@@ -164,11 +163,7 @@ impl MultiOutputModel {
                             // One histogram flush per worker, not per
                             // output.
                             let mut durs = Vec::new();
-                            loop {
-                                let v = queue.fetch_add(1, Ordering::Relaxed);
-                                if v >= n_out {
-                                    break;
-                                }
+                            while let Some(v) = queue.claim() {
                                 out.push((v, fit_one(v, &mut durs)));
                             }
                             tel.observe_many("ml.train.fit_s", &durs);
@@ -178,9 +173,11 @@ impl MultiOutputModel {
                     .collect();
                 handles
                     .into_iter()
+                    // audit: unwrap-ok(worker panics are training bugs; propagate them)
                     .map(|h| h.join().expect("training threads do not panic"))
                     .collect()
             })
+            // audit: unwrap-ok(worker panics are training bugs; propagate them)
             .expect("training threads do not panic");
             for (v, res) in worker_results.into_iter().flatten() {
                 results[v] = Some(res);
@@ -189,6 +186,7 @@ impl MultiOutputModel {
 
         let mut models = Vec::with_capacity(n_out);
         for slot in results {
+            // audit: unwrap-ok(WorkQueue::claim hands out every index exactly once)
             models.push(slot.expect("every output trained")?);
         }
         if tel.enabled() {

@@ -1,0 +1,68 @@
+//! A lock-free claim counter for index-addressed work — the queue behind
+//! parallel per-output training, extracted from the multi-output trainer so
+//! the model-check suite can verify the claim protocol.
+//!
+//! `total` items are identified by index `0..total`. Each worker repeatedly
+//! [`claim`](WorkQueue::claim)s the next unclaimed index until the queue is
+//! exhausted. A single `fetch_add` makes every index claimed by exactly one
+//! worker, with no index skipped — the invariant the `model_train` suite
+//! checks under all interleavings.
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+
+/// A one-shot distributor of the indices `0..total` among many workers.
+pub struct WorkQueue {
+    next: AtomicUsize,
+    total: usize,
+}
+
+impl WorkQueue {
+    /// A queue of `total` indexed work items.
+    pub fn new(total: usize) -> WorkQueue {
+        WorkQueue {
+            next: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// Claims the next unclaimed index; `None` once all are taken.
+    pub fn claim(&self) -> Option<usize> {
+        let v = self.next.fetch_add(1, Ordering::Relaxed);
+        (v < self.total).then_some(v)
+    }
+
+    /// Number of work items distributed by this queue.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+impl std::fmt::Debug for WorkQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkQueue")
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_each_index_once_then_dries_up() {
+        let q = WorkQueue::new(3);
+        assert_eq!(q.claim(), Some(0));
+        assert_eq!(q.claim(), Some(1));
+        assert_eq!(q.claim(), Some(2));
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.total(), 3);
+    }
+
+    #[test]
+    fn empty_queue_never_claims() {
+        let q = WorkQueue::new(0);
+        assert_eq!(q.claim(), None);
+    }
+}

@@ -186,8 +186,10 @@ impl GridNetworkBuilder {
                 let demand = self.base_demand * rng.random_range(0.4..1.8);
                 let id = net
                     .add_junction(format!("J{}-{}", c, r), elevation, demand, (x, y))
+                    // audit: unwrap-ok(grid junction names are unique by construction)
                     .expect("grid junction names are unique");
                 if let Some(p) = pattern {
+                    // audit: unwrap-ok(id was just returned by add_junction)
                     net.set_junction_pattern(id, p).expect("junction");
                 }
                 cell[r * self.columns + c] = Some(id);
@@ -235,6 +237,7 @@ impl GridNetworkBuilder {
                 };
                 let roughness = rng.random_range(100.0..140.0);
                 net.add_pipe(format!("P{pipe_no}"), a, b, length, diameter, roughness)
+                    // audit: unwrap-ok(endpoints exist: both grid junctions were added above)
                     .expect("grid pipe");
             };
         for (a, b, main) in candidates {

@@ -72,9 +72,10 @@ pub fn epa_net() -> Network {
         let bottom = jn.elevation + 42.0 + rng.random_range(-2.0..2.0);
         let t = net
             .add_tank(format!("T{}", i + 1), bottom, tank_spec.clone(), (x, y))
+            // audit: unwrap-ok(tank names are fresh in this builder)
             .expect("tank names are unique");
         net.add_pipe(format!("PT{}", i + 1), t, j, 60.0, 0.35, 130.0)
-            .expect("tank riser pipe");
+            .expect("tank riser pipe"); // audit: unwrap-ok(riser endpoints were just added)
     }
 
     // Two low-lying water sources, each feeding the grid through a pump.
@@ -85,17 +86,18 @@ pub fn epa_net() -> Network {
         let head = 8.0 + i as f64 * 3.0;
         let r = net
             .add_reservoir(format!("R{}", i + 1), head, (x, y))
+            // audit: unwrap-ok(reservoir names are fresh in this builder)
             .expect("reservoir names are unique");
         let curve = PumpCurve::from_design_point(0.14, 88.0);
         net.add_pump(format!("PU{}", i + 1), r, j, curve)
-            .expect("source pump");
+            .expect("source pump"); // audit: unwrap-ok(pump endpoints were just added)
     }
 
     // A single throttle valve on a grid shortcut.
     let a = junctions[3 * 13 + 5];
     let b = junctions[3 * 13 + 6];
     net.add_valve("V1", a, b, ValveKind::Tcv, 0.3, 4.0)
-        .expect("valve");
+        .expect("valve"); // audit: unwrap-ok(valve endpoints were just added)
 
     debug_assert_eq!(net.node_count(), 96);
     debug_assert_eq!(net.pipe_count(), 118);
@@ -146,19 +148,19 @@ pub fn wssc_subnet() -> Network {
     let (x, y) = (net.node(inlet).x - 400.0, net.node(inlet).y);
     let r = net
         .add_reservoir("SRC", max_elev + 45.0, (x, y))
-        .expect("reservoir");
+        .expect("reservoir"); // audit: unwrap-ok(reservoir name is fresh in this builder)
     net.add_pipe("MAIN", r, inlet, 420.0, 0.8, 135.0)
-        .expect("transmission main");
+        .expect("transmission main"); // audit: unwrap-ok(main endpoints were just added)
 
     // Two throttle valves on grid shortcuts.
     let a = junctions[5 * 23 + 10];
     let b = junctions[5 * 23 + 11];
     net.add_valve("V1", a, b, ValveKind::Tcv, 0.3, 4.0)
-        .expect("valve 1");
+        .expect("valve 1"); // audit: unwrap-ok(valve endpoints were just added)
     let c = junctions[8 * 23 + 16];
     let d = junctions[8 * 23 + 17];
     net.add_valve("V2", c, d, ValveKind::Tcv, 0.3, 4.0)
-        .expect("valve 2");
+        .expect("valve 2"); // audit: unwrap-ok(valve endpoints were just added)
 
     debug_assert_eq!(net.node_count(), 299);
     debug_assert_eq!(net.pipe_count(), 316);
@@ -172,6 +174,7 @@ pub fn with_diurnal_demands(mut net: Network) -> Network {
     let pat = net.add_pattern(Pattern::residential_diurnal("residential"));
     for id in net.junction_ids() {
         net.set_junction_pattern(id, pat)
+            // audit: unwrap-ok(ids come from junction_ids())
             .expect("junction ids are junctions");
     }
     net

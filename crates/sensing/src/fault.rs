@@ -30,7 +30,7 @@
 //! is itself deterministic because every consumer reads slots in time
 //! order.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use aqua_artifact::{ArtifactError, Codec, Reader, Writer};
 use serde::{Deserialize, Serialize};
@@ -231,8 +231,8 @@ impl FaultModel {
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     model: FaultModel,
-    stuck_values: HashMap<usize, f64>,
-    killed: HashSet<usize>,
+    stuck_values: BTreeMap<usize, f64>,
+    killed: BTreeSet<usize>,
 }
 
 impl FaultInjector {
@@ -240,8 +240,8 @@ impl FaultInjector {
     pub fn new(model: FaultModel) -> Self {
         FaultInjector {
             model,
-            stuck_values: HashMap::new(),
-            killed: HashSet::new(),
+            stuck_values: BTreeMap::new(),
+            killed: BTreeSet::new(),
         }
     }
 
@@ -304,17 +304,14 @@ impl FaultInjector {
 }
 
 impl Codec for FaultInjector {
-    // The injector's two stateful maps are hash containers; both are
-    // sorted on encode so the wire form is canonical — checkpointing the
-    // same injector twice yields byte-identical encodings.
+    // The injector's two stateful maps are ordered containers, so the wire
+    // form is canonical as-is — checkpointing the same injector twice
+    // yields byte-identical encodings.
     fn encode(&self, w: &mut Writer) {
         self.model.encode(w);
-        let mut stuck: Vec<(usize, f64)> =
-            self.stuck_values.iter().map(|(&ch, &v)| (ch, v)).collect();
-        stuck.sort_by_key(|&(ch, _)| ch);
+        let stuck: Vec<(usize, f64)> = self.stuck_values.iter().map(|(&ch, &v)| (ch, v)).collect();
         stuck.encode(w);
-        let mut killed: Vec<usize> = self.killed.iter().copied().collect();
-        killed.sort_unstable();
+        let killed: Vec<usize> = self.killed.iter().copied().collect();
         killed.encode(w);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {

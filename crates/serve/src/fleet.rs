@@ -27,10 +27,10 @@
 //!
 //! [`Server`]: crate::Server
 
-use std::collections::HashMap;
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -110,7 +110,7 @@ impl BackendPool {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<BackendHealth>> {
+    fn lock(&self) -> crate::sync::MutexGuard<'_, Vec<BackendHealth>> {
         self.backends.lock().unwrap_or_else(|p| p.into_inner())
     }
 
@@ -277,9 +277,9 @@ fn rendezvous_score(session: &str, backend: &str) -> u64 {
 pub struct ServiceRegistry {
     pool: Arc<BackendPool>,
     /// network → replica ids hosting that tenant (sorted).
-    tenants: Mutex<HashMap<String, Vec<String>>>,
+    tenants: Mutex<BTreeMap<String, Vec<String>>>,
     /// session id → network (tenant directory).
-    sessions: Mutex<HashMap<String, String>>,
+    sessions: Mutex<BTreeMap<String, String>>,
 }
 
 impl ServiceRegistry {
@@ -287,8 +287,8 @@ impl ServiceRegistry {
     pub fn new(pool: Arc<BackendPool>) -> ServiceRegistry {
         ServiceRegistry {
             pool,
-            tenants: Mutex::new(HashMap::new()),
-            sessions: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(BTreeMap::new()),
+            sessions: Mutex::new(BTreeMap::new()),
         }
     }
 

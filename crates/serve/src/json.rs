@@ -226,7 +226,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Consume one UTF-8 character (the input is a &str, so the
                 // bytes are valid UTF-8 by construction).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+                let Some(c) = rest.chars().next() else {
+                    return Err("unterminated string".into());
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -54,6 +54,7 @@ pub mod pool;
 pub mod router;
 mod routes;
 mod server;
+pub mod sync;
 pub mod vault;
 
 pub use chaos::{Fault, FaultPlan};

@@ -7,8 +7,8 @@
 //! arrives or the queue is closed *and* drained, giving workers natural
 //! graceful-shutdown semantics.
 
+use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 struct Inner<T> {
     items: VecDeque<T>,
@@ -36,7 +36,7 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+    fn lock(&self) -> crate::sync::MutexGuard<'_, Inner<T>> {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 

@@ -18,9 +18,9 @@
 //! router's own account of the hop sequence, which `fig_observe` checks
 //! the stitched timeline against.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use aqua_telemetry::{TelemetryHub, TraceContext, Value};
 

@@ -22,7 +22,7 @@
 //! stamp it on their events, so a routed request's swap/restore/ingest
 //! activity joins its distributed trace.
 
-use std::sync::OnceLock;
+use crate::sync::OnceLock;
 
 use aqua_core::{checkpoint_meta, AquaError, SessionRegistry};
 use aqua_telemetry::{TelemetryCtx, TelemetryHub, TraceContext, Value, FIELD_TRACE};

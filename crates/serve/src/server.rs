@@ -9,12 +9,12 @@
 //! connections, queued requests drain through the workers, then the
 //! threads join.
 
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use aqua_core::SessionRegistry;
 use aqua_telemetry::{TelemetryHub, Value};
@@ -237,7 +237,9 @@ fn handle_connection(
         return;
     };
     let mut reader = BufReader::new(read_half);
-    let started = Instant::now();
+    // Latency through the hub's injectable clock, not a raw Instant, so the
+    // RED metrics stay reproducible under a ManualClock in tests.
+    let started_ns = hub.now_ns();
     let (response, route, trace) = match http::read_request(&mut reader, max_body) {
         Ok(request) => {
             let trace = request.trace();
@@ -266,9 +268,10 @@ fn handle_connection(
             None,
         ),
     };
+    let latency_s = hub.now_ns().saturating_sub(started_ns) as f64 / 1e9;
     hub.add("serve.http.requests", 1);
-    hub.observe("serve.http.latency_s", started.elapsed().as_secs_f64());
-    record_red(hub, route, response.status, started.elapsed().as_secs_f64());
+    hub.observe("serve.http.latency_s", latency_s);
+    record_red(hub, route, response.status, latency_s);
     // The server-side span of a traced request: stitched under the
     // router's attempt span via the propagated header.
     if let Some(t) = trace {

@@ -12,8 +12,8 @@
 //! validated by [`ModelHandle::install`] — fail-closed, the previous model
 //! keeps serving on any rejection.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use crate::sync::{Arc, Mutex};
+use std::collections::BTreeMap;
 
 use aqua_core::{
     AquaError, AquaScaleConfig, HostedSession, ModelHandle, ProfileArtifact, ProfileModel,
@@ -29,7 +29,7 @@ struct Tenant {
 /// Registry of hosted tenants: network name → (topology, model handle).
 #[derive(Default)]
 pub struct ModelVault {
-    tenants: Mutex<HashMap<String, Tenant>>,
+    tenants: Mutex<BTreeMap<String, Tenant>>,
 }
 
 impl ModelVault {
@@ -38,7 +38,7 @@ impl ModelVault {
         ModelVault::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Tenant>> {
+    fn lock(&self) -> crate::sync::MutexGuard<'_, BTreeMap<String, Tenant>> {
         self.tenants.lock().unwrap_or_else(|p| p.into_inner())
     }
 

@@ -22,12 +22,12 @@
 //! longer holds (which events survive depends on shard assignment); size
 //! the capacity above the expected un-flushed volume when that matters.
 
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 use std::borrow::Cow;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use crate::json;
 
@@ -130,7 +130,7 @@ impl Event {
     /// A description of the first syntax problem encountered.
     pub fn from_json_line(line: &str) -> Result<Event, String> {
         let mut p = LineParser::new(line);
-        p.expect('{')?;
+        p.require('{')?;
         let mut pairs: Vec<(String, Value)> = Vec::new();
         loop {
             p.skip_ws();
@@ -138,12 +138,12 @@ impl Event {
                 break;
             }
             if !pairs.is_empty() {
-                p.expect(',')?;
+                p.require(',')?;
                 p.skip_ws();
             }
             let key = p.string()?;
             p.skip_ws();
-            p.expect(':')?;
+            p.require(':')?;
             p.skip_ws();
             let value = p.value()?;
             pairs.push((key, value));
@@ -215,7 +215,7 @@ impl<'a> LineParser<'a> {
         }
     }
 
-    fn expect(&mut self, c: char) -> Result<(), String> {
+    fn require(&mut self, c: char) -> Result<(), String> {
         if self.eat(c) {
             Ok(())
         } else {
@@ -224,7 +224,7 @@ impl<'a> LineParser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
+        self.require('"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -299,7 +299,8 @@ impl<'a> LineParser<'a> {
                 ) {
                     self.pos += 1;
                 }
-                let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("non-utf8 number at offset {start}"))?;
                 if text.contains(['.', 'e', 'E']) {
                     text.parse::<f64>()
                         .map(Value::F64)
@@ -378,7 +379,7 @@ impl EventSink {
     pub fn push(&self, event: Event) -> u64 {
         let mut shard = self.shards[my_shard()]
             .lock()
-            .expect("event shard poisoned");
+            .unwrap_or_else(|p| p.into_inner());
         let mut evicted = 0u64;
         while shard.len() >= self.capacity {
             shard.pop_front();
@@ -396,7 +397,7 @@ impl EventSink {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("event shard poisoned").len())
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
             .sum()
     }
 
@@ -411,7 +412,7 @@ impl EventSink {
     pub fn drain_sorted(&self) -> Vec<Event> {
         let mut all = Vec::new();
         for shard in &self.shards {
-            all.extend(shard.lock().expect("event shard poisoned").drain(..));
+            all.extend(shard.lock().unwrap_or_else(|p| p.into_inner()).drain(..));
         }
         all.sort_by_key(|e| e.ord);
         all
@@ -423,7 +424,13 @@ impl EventSink {
     pub fn snapshot_sorted(&self) -> Vec<Event> {
         let mut all = Vec::new();
         for shard in &self.shards {
-            all.extend(shard.lock().expect("event shard poisoned").iter().cloned());
+            all.extend(
+                shard
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .iter()
+                    .cloned(),
+            );
         }
         all.sort_by_key(|e| e.ord);
         all

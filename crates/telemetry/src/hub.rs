@@ -1,10 +1,10 @@
 //! The [`TelemetryHub`] registry and the [`TelemetryCtx`] handle threaded
 //! through the pipeline.
 
+use crate::sync::{Arc, Mutex};
 use std::borrow::Cow;
 use std::collections::btree_map::Entry;
 use std::io::{self, Write};
-use std::sync::{Arc, Mutex};
 
 use crate::clock::{Clock, MonotonicClock};
 use crate::event::{Event, EventSink, Value};
@@ -88,7 +88,7 @@ impl TelemetryHub {
     // ---- metrics -------------------------------------------------------
 
     fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsSnapshot) -> R) -> R {
-        f(&mut self.metrics.lock().expect("metrics lock poisoned"))
+        f(&mut self.metrics.lock().unwrap_or_else(|p| p.into_inner()))
     }
 
     /// Adds `n` to counter `name` (saturating; created on first use).
@@ -151,14 +151,17 @@ impl TelemetryHub {
         let now = self.now_ns();
         self.spans
             .lock()
-            .expect("span lock poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .start(name, parent, now)
     }
 
     /// Ends a span now (idempotent).
     pub fn end_span(&self, id: SpanId) {
         let now = self.now_ns();
-        self.spans.lock().expect("span lock poisoned").end(id, now);
+        self.spans
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .end(id, now);
     }
 
     /// Inserts a *synthetic* span with explicit bounds — used for
@@ -172,7 +175,7 @@ impl TelemetryHub {
         start_ns: u64,
         end_ns: u64,
     ) -> SpanId {
-        let mut spans = self.spans.lock().expect("span lock poisoned");
+        let mut spans = self.spans.lock().unwrap_or_else(|p| p.into_inner());
         let id = spans.start(name, parent, start_ns);
         spans.end(id, end_ns.max(start_ns));
         id
@@ -182,7 +185,7 @@ impl TelemetryHub {
     /// "now".
     pub fn span_tree(&self) -> Vec<SpanSnapshot> {
         let now = self.now_ns();
-        SpanSnapshot::forest(&self.spans.lock().expect("span lock poisoned"), now)
+        SpanSnapshot::forest(&self.spans.lock().unwrap_or_else(|p| p.into_inner()), now)
     }
 
     // ---- events --------------------------------------------------------

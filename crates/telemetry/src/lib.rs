@@ -52,6 +52,7 @@ mod json;
 mod metrics;
 mod span;
 mod stitch;
+pub mod sync;
 mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};

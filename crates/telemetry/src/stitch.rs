@@ -319,7 +319,10 @@ fn stitch_one(trace_id: u64, entries: &[&SourcedEvent]) -> StitchedTrace {
     let mut span_order: Vec<u64> = Vec::new();
     let mut groups: BTreeMap<u64, (u64, String, Vec<Event>)> = BTreeMap::new();
     for se in entries {
-        let (_, span, parent) = trace_coords(&se.event).expect("pre-filtered traced event");
+        // Entries are pre-filtered to traced events; skip defensively if not.
+        let Some((_, span, parent)) = trace_coords(&se.event) else {
+            continue;
+        };
         match groups.get_mut(&span) {
             Some((_, _, events)) => events.push(se.event.clone()),
             None => {

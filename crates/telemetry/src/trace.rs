@@ -133,11 +133,11 @@ impl TraceContext {
 #[must_use]
 pub fn hex16(v: u64) -> String {
     const DIGITS: &[u8; 16] = b"0123456789abcdef";
-    let mut out = [0u8; 16];
-    for (i, b) in out.iter_mut().enumerate() {
-        *b = DIGITS[((v >> (4 * (15 - i))) & 0xf) as usize];
+    let mut out = String::with_capacity(16);
+    for i in 0..16 {
+        out.push(DIGITS[((v >> (4 * (15 - i))) & 0xf) as usize] as char);
     }
-    String::from_utf8(out.to_vec()).expect("ascii hex digits")
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,208 @@
+//! Instrumented atomics. Unlike the lock shims, atomics decide model
+//! membership per-operation from the calling thread's context: every op on a
+//! model thread is a schedule point, then delegates to the real `std` atomic.
+//! This keeps `new` a `const fn` (so statics work) and means statics touched
+//! from model threads are modeled automatically.
+//!
+//! `Ordering` arguments are accepted for API parity and passed through to the
+//! underlying atomic; explored interleavings are always sequentially
+//! consistent (see the crate docs for the memory-model caveat).
+
+pub use std::sync::atomic::Ordering;
+
+use crate::runtime::current_ctx;
+
+fn point(op: &str) {
+    if let Some(c) = current_ctx() {
+        c.rt.model_op(c.tid, op);
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ident, $ty:ty, $label:literal) => {
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    inner: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                point(concat!($label, " load"));
+                self.inner.load(order)
+            }
+
+            pub fn store(&self, val: $ty, order: Ordering) {
+                point(concat!($label, " store"));
+                self.inner.store(val, order)
+            }
+
+            pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                point(concat!($label, " swap"));
+                self.inner.swap(val, order)
+            }
+
+            pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                point(concat!($label, " fetch_add"));
+                self.inner.fetch_add(val, order)
+            }
+
+            pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                point(concat!($label, " fetch_sub"));
+                self.inner.fetch_sub(val, order)
+            }
+
+            pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                point(concat!($label, " fetch_max"));
+                self.inner.fetch_max(val, order)
+            }
+
+            pub fn fetch_min(&self, val: $ty, order: Ordering) -> $ty {
+                point(concat!($label, " fetch_min"));
+                self.inner.fetch_min(val, order)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                point(concat!($label, " compare_exchange"));
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                // Weak never fails spuriously in the model: one schedule
+                // point, then a strong exchange.
+                point(concat!($label, " compare_exchange_weak"));
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn fetch_update<F: FnMut($ty) -> Option<$ty>>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                f: F,
+            ) -> Result<$ty, $ty> {
+                point(concat!($label, " fetch_update"));
+                self.inner.fetch_update(set_order, fetch_order, f)
+            }
+
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$ty>::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+
+        impl From<$ty> for $name {
+            fn from(v: $ty) -> Self {
+                Self::new(v)
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicUsize, AtomicUsize, usize, "ausize");
+int_atomic!(AtomicU64, AtomicU64, u64, "au64");
+int_atomic!(AtomicU32, AtomicU32, u32, "au32");
+
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        point("abool load");
+        self.inner.load(order)
+    }
+
+    pub fn store(&self, val: bool, order: Ordering) {
+        point("abool store");
+        self.inner.store(val, order)
+    }
+
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        point("abool swap");
+        self.inner.swap(val, order)
+    }
+
+    pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+        point("abool fetch_and");
+        self.inner.fetch_and(val, order)
+    }
+
+    pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+        point("abool fetch_or");
+        self.inner.fetch_or(val, order)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        point("abool compare_exchange");
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl From<bool> for AtomicBool {
+    fn from(v: bool) -> Self {
+        Self::new(v)
+    }
+}

@@ -1,0 +1,266 @@
+//! # interlock — a miniature deterministic-scheduler model checker
+//!
+//! Vendored, std-only. Provides instrumented `sync`, `atomic`, and `thread`
+//! shims that mirror their `std` counterparts, plus an [`Explorer`] that runs
+//! a closure (the *model*) under every interleaving a bounded DFS — or a
+//! seeded random walk — can reach.
+//!
+//! ## How it works
+//!
+//! Model threads are real OS threads, but the scheduler lets exactly one run
+//! at a time. Every shim operation is a *schedule point* where the runtime
+//! picks the next thread among the runnable set; the sequence of picks (the
+//! *choice vector*) fully determines the interleaving. Exhaustive mode
+//! enumerates choice vectors depth-first; random mode draws them from a
+//! splitmix64 stream, so the same seed always yields the same schedules.
+//!
+//! Failures — deadlock (no runnable thread while some are live), a panic
+//! inside the model (assertion violation), or a step-limit blowout — carry
+//! the choice vector that produced them, which [`replay`] re-executes
+//! verbatim: that is the mechanism for pinning a found bug as a regression
+//! test.
+//!
+//! ## Passthrough
+//!
+//! Shim objects capture the active model run (if any) at construction; used
+//! outside one they behave exactly like `std`. This makes it safe to compile
+//! whole crates against the shims (via a `cfg(aqua_model_check)` facade)
+//! while only designated tests actually explore schedules.
+//!
+//! ## Scope and caveats
+//!
+//! - Sequentially consistent memory model only: `Ordering` arguments are
+//!   accepted and ignored. Weak-memory bugs are invisible to this checker.
+//! - No spurious condvar wakeups; wakeups are FIFO.
+//! - Timeouts never fire (`thread::sleep` is a pure schedule point).
+//! - A model closure runs once per schedule and must rebuild its state each
+//!   time; shared accumulators it captures are reliable only when
+//!   exploration returns `Ok`.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use interlock::{sync::Mutex, thread, Explorer};
+//!
+//! let report = Explorer::exhaustive().run(|| {
+//!     let counter = Arc::new(Mutex::new(0u32));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let c = Arc::clone(&counter);
+//!             thread::spawn(move || {
+//!                 *c.lock().unwrap() += 1;
+//!             })
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join().unwrap();
+//!     }
+//!     assert_eq!(*counter.lock().unwrap(), 2);
+//! });
+//! assert!(report.exhausted);
+//! ```
+
+pub mod atomic;
+mod runtime;
+pub mod sync;
+pub mod thread;
+
+pub use runtime::{Failure, FailureKind};
+
+use runtime::{run_once, splitmix64, Policy, RunOutcome};
+
+/// Exploration strategy.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Exhaustive,
+    Random { seed: u64, runs: usize },
+}
+
+/// What an exploration did. Returned by [`Explorer::run`] / [`Explorer::check`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: usize,
+    /// Number of *distinct* choice vectors among them (== `schedules` in
+    /// exhaustive mode; may be lower in random mode).
+    pub distinct: usize,
+    /// Exhaustive mode fully enumerated the schedule space.
+    pub exhausted: bool,
+    /// Exhaustive mode hit the schedule cap before finishing.
+    pub truncated: bool,
+    /// Choice vector of every run, in execution order.
+    pub choices_log: Vec<Vec<usize>>,
+    /// FNV-1a hash over every trace event of every run, in order. Two
+    /// explorations with the same strategy and model must agree on this.
+    pub trace_fingerprint: u64,
+}
+
+/// Drives a model closure through many schedules. See the crate docs.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    mode: Mode,
+    max_schedules: usize,
+    max_steps: usize,
+}
+
+impl Explorer {
+    /// Bounded-exhaustive DFS over all interleavings, capped at a default of
+    /// 20 000 schedules (tune with [`Explorer::with_max_schedules`]).
+    pub fn exhaustive() -> Self {
+        Self {
+            mode: Mode::Exhaustive,
+            max_schedules: 20_000,
+            max_steps: 100_000,
+        }
+    }
+
+    /// `runs` schedules drawn from a seeded splitmix64 stream. Deterministic:
+    /// the same seed yields the same schedules in the same order.
+    pub fn random(seed: u64, runs: usize) -> Self {
+        Self {
+            mode: Mode::Random { seed, runs },
+            max_schedules: usize::MAX,
+            max_steps: 100_000,
+        }
+    }
+
+    /// Cap the number of schedules executed (exhaustive mode).
+    pub fn with_max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Cap schedule points per run (livelock guard).
+    pub fn with_max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Explore and panic (with the failing choice vector and trace) on the
+    /// first schedule that deadlocks, panics, or exceeds the step limit.
+    pub fn run<F: Fn() + Sync>(&self, f: F) -> Report {
+        match self.check(f) {
+            Ok(r) => r,
+            Err(failure) => panic!("model check failed\n{failure}"),
+        }
+    }
+
+    /// Explore, returning the first failure instead of panicking. Useful for
+    /// testing the checker itself and for expected-failure demonstrations.
+    pub fn check<F: Fn() + Sync>(&self, f: F) -> Result<Report, Failure> {
+        match self.mode {
+            Mode::Exhaustive => self.check_exhaustive(&f),
+            Mode::Random { seed, runs } => self.check_random(&f, seed, runs),
+        }
+    }
+
+    fn check_exhaustive<F: Fn() + Sync>(&self, f: &F) -> Result<Report, Failure> {
+        let mut forced: Vec<usize> = Vec::new();
+        let mut acc = ReportAcc::new();
+        loop {
+            let out = run_once(forced.clone(), Policy::Dfs, self.max_steps, f);
+            acc.absorb(&out);
+            if let Some(failure) = out.failure {
+                return Err(failure);
+            }
+            // Backtrack: find the deepest decision with an unexplored branch.
+            let mut next: Option<Vec<usize>> = None;
+            for i in (0..out.decisions.len()).rev() {
+                let (chosen, n) = out.decisions[i];
+                if chosen + 1 < n {
+                    let mut v: Vec<usize> = out.decisions[..i].iter().map(|d| d.0).collect();
+                    v.push(chosen + 1);
+                    next = Some(v);
+                    break;
+                }
+            }
+            match next {
+                None => return Ok(acc.finish(true, false)),
+                Some(_) if acc.schedules >= self.max_schedules => {
+                    return Ok(acc.finish(false, true));
+                }
+                Some(v) => forced = v,
+            }
+        }
+    }
+
+    fn check_random<F: Fn() + Sync>(
+        &self,
+        f: &F,
+        seed: u64,
+        runs: usize,
+    ) -> Result<Report, Failure> {
+        let mut stream = seed;
+        let mut acc = ReportAcc::new();
+        for _ in 0..runs {
+            let run_seed = splitmix64(&mut stream);
+            let out = run_once(Vec::new(), Policy::Random(run_seed), self.max_steps, f);
+            acc.absorb(&out);
+            if let Some(failure) = out.failure {
+                return Err(failure);
+            }
+        }
+        Ok(acc.finish(false, false))
+    }
+}
+
+/// Re-execute a single schedule: `choices[i]` is the index picked among the
+/// runnable threads at decision `i` (as reported in a [`Failure`] or
+/// [`Report::choices_log`]). Decisions past the end of `choices` fall back to
+/// the lowest-index runnable thread. Returns the trace on success.
+pub fn replay<F: Fn() + Sync>(choices: &[usize], f: F) -> Result<Vec<String>, Failure> {
+    let out = run_once(choices.to_vec(), Policy::Dfs, 100_000, &f);
+    match out.failure {
+        Some(failure) => Err(failure),
+        None => Ok(out.trace),
+    }
+}
+
+struct ReportAcc {
+    schedules: usize,
+    choices_log: Vec<Vec<usize>>,
+    fingerprint: u64,
+}
+
+impl ReportAcc {
+    fn new() -> Self {
+        Self {
+            schedules: 0,
+            choices_log: Vec::new(),
+            fingerprint: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn absorb(&mut self, out: &RunOutcome) {
+        self.schedules += 1;
+        self.choices_log
+            .push(out.decisions.iter().map(|d| d.0).collect());
+        for ev in &out.trace {
+            for b in ev.as_bytes() {
+                self.fingerprint ^= u64::from(*b);
+                self.fingerprint = self.fingerprint.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            self.fingerprint ^= 0xff;
+            self.fingerprint = self.fingerprint.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(self, exhausted: bool, truncated: bool) -> Report {
+        let distinct = {
+            let mut seen: std::collections::BTreeSet<&[usize]> = std::collections::BTreeSet::new();
+            for c in &self.choices_log {
+                seen.insert(c.as_slice());
+            }
+            seen.len()
+        };
+        Report {
+            schedules: self.schedules,
+            distinct,
+            exhausted,
+            truncated,
+            choices_log: self.choices_log,
+            trace_fingerprint: self.fingerprint,
+        }
+    }
+}

@@ -1,0 +1,646 @@
+//! The deterministic scheduler at the heart of the model checker.
+//!
+//! One `Runtime` exists per explored schedule. Model threads are real OS
+//! threads, but exactly one is allowed to run at any time; every shim
+//! operation (lock, unlock, condvar wait/notify, atomic op, spawn, join) is a
+//! *schedule point* where the runtime picks the next thread to run among the
+//! runnable set. The sequence of picks — the *choice vector* — fully
+//! determines the interleaving, which makes schedules replayable and lets a
+//! DFS enumerate them exhaustively.
+//!
+//! Memory model: because only one thread runs at a time and every handoff
+//! goes through the runtime's own mutex, all explored executions are
+//! sequentially consistent. Weak-ordering bugs are out of scope; `Ordering`
+//! arguments are accepted and ignored.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once};
+
+/// Panic payload used to tear down model threads once a run has failed.
+/// Suppressed by the panic hook so aborted runs don't spam stderr.
+pub(crate) struct Abort;
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) rt: Arc<Runtime>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Install a panic hook that silences `Abort` teardown panics. Idempotent.
+pub(crate) fn install_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Abort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Why a model run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No thread was runnable while at least one was still live.
+    Deadlock,
+    /// A model thread panicked (assertion failure inside the model).
+    Panic,
+    /// A single run exceeded the per-run schedule-point budget.
+    StepLimit,
+}
+
+/// A failing schedule, carrying everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// The choice vector that produced the failure; feed to [`crate::replay`].
+    pub choices: Vec<usize>,
+    /// Human-readable `t<tid> <op>` event log of the failing run.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:?}: {}", self.kind, self.message)?;
+        writeln!(f, "choices: {:?}", self.choices)?;
+        writeln!(f, "trace ({} events):", self.trace.len())?;
+        for ev in &self.trace {
+            writeln!(f, "  {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCond(usize),
+    BlockedRwRead(usize),
+    BlockedRwWrite(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct MutexSt {
+    owner: Option<usize>,
+}
+
+struct RwSt {
+    readers: usize,
+    writer: Option<usize>,
+}
+
+struct CondSt {
+    waiters: VecDeque<usize>,
+}
+
+pub(crate) enum Policy {
+    /// Beyond the forced prefix, always pick the lowest-index runnable thread.
+    Dfs,
+    /// Beyond the forced prefix, pick pseudo-randomly (splitmix64 stream).
+    Random(u64),
+}
+
+struct RtState {
+    threads: Vec<TState>,
+    current: usize,
+    live: usize,
+    mutexes: Vec<MutexSt>,
+    rwlocks: Vec<RwSt>,
+    condvars: Vec<CondSt>,
+    forced: Vec<usize>,
+    policy: Policy,
+    /// Per decision: (index chosen among runnable, number runnable).
+    decisions: Vec<(usize, usize)>,
+    steps: usize,
+    max_steps: usize,
+    trace: Vec<String>,
+    failure: Option<Failure>,
+}
+
+pub(crate) struct RunOutcome {
+    pub(crate) decisions: Vec<(usize, usize)>,
+    pub(crate) trace: Vec<String>,
+    pub(crate) failure: Option<Failure>,
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub(crate) struct Runtime {
+    state: StdMutex<RtState>,
+    turn: StdCondvar,
+    done: StdCondvar,
+}
+
+impl Runtime {
+    pub(crate) fn new(forced: Vec<usize>, policy: Policy, max_steps: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: StdMutex::new(RtState {
+                threads: vec![TState::Runnable],
+                current: 0,
+                live: 1,
+                mutexes: Vec::new(),
+                rwlocks: Vec::new(),
+                condvars: Vec::new(),
+                forced,
+                policy,
+                decisions: Vec::new(),
+                steps: 0,
+                max_steps,
+                trace: Vec::new(),
+                failure: None,
+            }),
+            turn: StdCondvar::new(),
+            done: StdCondvar::new(),
+        })
+    }
+
+    fn st(&self) -> StdMutexGuard<'_, RtState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    // ---- object registration (shim constructors) -------------------------
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.st();
+        st.mutexes.push(MutexSt { owner: None });
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_rwlock(&self) -> usize {
+        let mut st = self.st();
+        st.rwlocks.push(RwSt {
+            readers: 0,
+            writer: None,
+        });
+        st.rwlocks.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.st();
+        st.condvars.push(CondSt {
+            waiters: VecDeque::new(),
+        });
+        st.condvars.len() - 1
+    }
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.st();
+        st.threads.push(TState::Runnable);
+        st.live += 1;
+        st.threads.len() - 1
+    }
+
+    // ---- core scheduling --------------------------------------------------
+
+    fn fail(&self, st: &mut RtState, kind: FailureKind, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind,
+                message,
+                choices: st.decisions.iter().map(|d| d.0).collect(),
+                trace: st.trace.clone(),
+            });
+        }
+        self.turn.notify_all();
+        self.done.notify_all();
+    }
+
+    /// Pick the next thread to run. Called with the state locked, at every
+    /// schedule point. Detects deadlock when nothing is runnable.
+    fn pick_next(&self, st: &mut RtState) {
+        if st.failure.is_some() {
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let max = st.max_steps;
+            self.fail(
+                st,
+                FailureKind::StepLimit,
+                format!("run exceeded {max} schedule points (livelock or model too large)"),
+            );
+            return;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.live == 0 {
+                self.done.notify_all();
+                return;
+            }
+            let states: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("t{i}={s:?}"))
+                .collect();
+            self.fail(
+                st,
+                FailureKind::Deadlock,
+                format!("no runnable thread; {}", states.join(", ")),
+            );
+            return;
+        }
+        let n = runnable.len();
+        let idx = if st.decisions.len() < st.forced.len() {
+            let f = st.forced[st.decisions.len()];
+            if f < n {
+                f
+            } else {
+                n - 1
+            }
+        } else {
+            match &mut st.policy {
+                Policy::Dfs => 0,
+                Policy::Random(s) => (splitmix64(s) % n as u64) as usize,
+            }
+        };
+        st.decisions.push((idx, n));
+        st.current = runnable[idx];
+    }
+
+    /// Block until it's `me`'s turn (or the run has failed).
+    fn wait_turn<'a>(
+        &self,
+        mut st: StdMutexGuard<'a, RtState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, RtState> {
+        while st.failure.is_none() && st.current != me {
+            st = self.turn.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        st
+    }
+
+    fn abort(&self) -> ! {
+        panic::panic_any(Abort)
+    }
+
+    /// A plain schedule point: trace the op, let the scheduler pick, then
+    /// wait until this thread is scheduled again. Used for atomic ops,
+    /// yields, spawns.
+    pub(crate) fn model_op(&self, me: usize, op: &str) {
+        let mut st = self.st();
+        if st.failure.is_some() {
+            drop(st);
+            self.abort();
+        }
+        st.trace.push(format!("t{me} {op}"));
+        self.pick_next(&mut st);
+        self.turn.notify_all();
+        st = self.wait_turn(st, me);
+        if st.failure.is_some() {
+            drop(st);
+            self.abort();
+        }
+    }
+
+    pub(crate) fn model_lock(&self, me: usize, mid: usize) {
+        self.model_op(me, &format!("lock m{mid}"));
+        let mut st = self.st();
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                self.abort();
+            }
+            if st.mutexes[mid].owner.is_none() {
+                st.mutexes[mid].owner = Some(me);
+                st.trace.push(format!("t{me} acquired m{mid}"));
+                return;
+            }
+            st.threads[me] = TState::BlockedMutex(mid);
+            self.pick_next(&mut st);
+            self.turn.notify_all();
+            st = self.wait_turn(st, me);
+        }
+    }
+
+    /// Returns `true` if the lock was acquired. Never blocks.
+    pub(crate) fn model_try_lock(&self, me: usize, mid: usize) -> bool {
+        self.model_op(me, &format!("try_lock m{mid}"));
+        let mut st = self.st();
+        if st.mutexes[mid].owner.is_none() {
+            st.mutexes[mid].owner = Some(me);
+            st.trace.push(format!("t{me} acquired m{mid}"));
+            true
+        } else {
+            st.trace.push(format!("t{me} try_lock m{mid} would block"));
+            false
+        }
+    }
+
+    /// Release a mutex and take a schedule point. Safe to call during
+    /// unwinding (guard drops): on a failed run it returns silently instead
+    /// of panicking, so teardown never double-panics.
+    pub(crate) fn model_unlock(&self, me: usize, mid: usize) {
+        let mut st = self.st();
+        if st.failure.is_some() {
+            return;
+        }
+        debug_assert_eq!(st.mutexes[mid].owner, Some(me));
+        st.mutexes[mid].owner = None;
+        st.trace.push(format!("t{me} unlock m{mid}"));
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedMutex(mid) {
+                *t = TState::Runnable;
+            }
+        }
+        self.pick_next(&mut st);
+        self.turn.notify_all();
+        let st = self.wait_turn(st, me);
+        drop(st);
+    }
+
+    pub(crate) fn model_cond_wait(&self, me: usize, cid: usize, mid: usize) {
+        let mut st = self.st();
+        if st.failure.is_some() {
+            drop(st);
+            self.abort();
+        }
+        debug_assert_eq!(st.mutexes[mid].owner, Some(me));
+        st.mutexes[mid].owner = None;
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedMutex(mid) {
+                *t = TState::Runnable;
+            }
+        }
+        st.condvars[cid].waiters.push_back(me);
+        st.threads[me] = TState::BlockedCond(cid);
+        st.trace.push(format!("t{me} wait c{cid} released m{mid}"));
+        self.pick_next(&mut st);
+        self.turn.notify_all();
+        st = self.wait_turn(st, me);
+        if st.failure.is_some() {
+            drop(st);
+            self.abort();
+        }
+        st.trace.push(format!("t{me} wake c{cid}"));
+        // Re-acquire the mutex before returning, exactly like std's wait.
+        loop {
+            if st.mutexes[mid].owner.is_none() {
+                st.mutexes[mid].owner = Some(me);
+                st.trace.push(format!("t{me} reacquired m{mid}"));
+                return;
+            }
+            st.threads[me] = TState::BlockedMutex(mid);
+            self.pick_next(&mut st);
+            self.turn.notify_all();
+            st = self.wait_turn(st, me);
+            if st.failure.is_some() {
+                drop(st);
+                self.abort();
+            }
+        }
+    }
+
+    pub(crate) fn model_notify(&self, me: usize, cid: usize, all: bool) {
+        let mut st = self.st();
+        if st.failure.is_some() {
+            return;
+        }
+        let woken: Vec<usize> = if all {
+            st.condvars[cid].waiters.drain(..).collect()
+        } else {
+            st.condvars[cid].waiters.pop_front().into_iter().collect()
+        };
+        for &w in &woken {
+            st.threads[w] = TState::Runnable;
+        }
+        let kind = if all { "notify_all" } else { "notify_one" };
+        st.trace
+            .push(format!("t{me} {kind} c{cid} woke {:?}", woken));
+        self.pick_next(&mut st);
+        self.turn.notify_all();
+        let st = self.wait_turn(st, me);
+        let failed = st.failure.is_some();
+        drop(st);
+        if failed {
+            self.abort();
+        }
+    }
+
+    pub(crate) fn model_rw_read(&self, me: usize, rid: usize) {
+        self.model_op(me, &format!("read r{rid}"));
+        let mut st = self.st();
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                self.abort();
+            }
+            if st.rwlocks[rid].writer.is_none() {
+                st.rwlocks[rid].readers += 1;
+                st.trace.push(format!("t{me} acquired-read r{rid}"));
+                return;
+            }
+            st.threads[me] = TState::BlockedRwRead(rid);
+            self.pick_next(&mut st);
+            self.turn.notify_all();
+            st = self.wait_turn(st, me);
+        }
+    }
+
+    pub(crate) fn model_rw_write(&self, me: usize, rid: usize) {
+        self.model_op(me, &format!("write r{rid}"));
+        let mut st = self.st();
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                self.abort();
+            }
+            if st.rwlocks[rid].writer.is_none() && st.rwlocks[rid].readers == 0 {
+                st.rwlocks[rid].writer = Some(me);
+                st.trace.push(format!("t{me} acquired-write r{rid}"));
+                return;
+            }
+            st.threads[me] = TState::BlockedRwWrite(rid);
+            self.pick_next(&mut st);
+            self.turn.notify_all();
+            st = self.wait_turn(st, me);
+        }
+    }
+
+    fn rw_release(&self, me: usize, rid: usize, write: bool) {
+        let mut st = self.st();
+        if st.failure.is_some() {
+            return;
+        }
+        if write {
+            debug_assert_eq!(st.rwlocks[rid].writer, Some(me));
+            st.rwlocks[rid].writer = None;
+            st.trace.push(format!("t{me} unlock-write r{rid}"));
+        } else {
+            debug_assert!(st.rwlocks[rid].readers > 0);
+            st.rwlocks[rid].readers -= 1;
+            st.trace.push(format!("t{me} unlock-read r{rid}"));
+        }
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedRwRead(rid) || *t == TState::BlockedRwWrite(rid) {
+                *t = TState::Runnable;
+            }
+        }
+        self.pick_next(&mut st);
+        self.turn.notify_all();
+        let st = self.wait_turn(st, me);
+        drop(st);
+    }
+
+    pub(crate) fn model_rw_read_unlock(&self, me: usize, rid: usize) {
+        self.rw_release(me, rid, false);
+    }
+
+    pub(crate) fn model_rw_write_unlock(&self, me: usize, rid: usize) {
+        self.rw_release(me, rid, true);
+    }
+
+    pub(crate) fn model_join(&self, me: usize, target: usize) {
+        self.model_op(me, &format!("join t{target}"));
+        let mut st = self.st();
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                self.abort();
+            }
+            if st.threads[target] == TState::Finished {
+                st.trace.push(format!("t{me} joined t{target}"));
+                return;
+            }
+            st.threads[me] = TState::BlockedJoin(target);
+            self.pick_next(&mut st);
+            self.turn.notify_all();
+            st = self.wait_turn(st, me);
+        }
+    }
+
+    // ---- thread lifecycle -------------------------------------------------
+
+    /// First thing a freshly spawned model thread does: wait to be scheduled.
+    /// Returns `false` if the run failed before the thread ever ran.
+    pub(crate) fn wait_initial(&self, me: usize) -> bool {
+        let st = self.st();
+        let st = self.wait_turn(st, me);
+        st.failure.is_none()
+    }
+
+    pub(crate) fn thread_finished(
+        &self,
+        me: usize,
+        panic_payload: Option<&(dyn std::any::Any + Send)>,
+    ) {
+        let mut st = self.st();
+        st.threads[me] = TState::Finished;
+        st.live -= 1;
+        st.trace.push(format!("t{me} finished"));
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedJoin(me) {
+                *t = TState::Runnable;
+            }
+        }
+        if let Some(p) = panic_payload {
+            if p.downcast_ref::<Abort>().is_none() {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "model thread panicked".to_string());
+                self.fail(
+                    &mut st,
+                    FailureKind::Panic,
+                    format!("t{me} panicked: {msg}"),
+                );
+                return;
+            }
+        }
+        if st.failure.is_some() {
+            self.turn.notify_all();
+            self.done.notify_all();
+            return;
+        }
+        if st.live == 0 {
+            st.current = usize::MAX;
+            self.turn.notify_all();
+            self.done.notify_all();
+            return;
+        }
+        self.pick_next(&mut st);
+        self.turn.notify_all();
+    }
+
+    // ---- harness side -----------------------------------------------------
+
+    pub(crate) fn wait_done(&self) {
+        let mut st = self.st();
+        while st.failure.is_none() && st.live > 0 {
+            st = self.done.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    pub(crate) fn take_outcome(&self) -> RunOutcome {
+        let st = self.st();
+        RunOutcome {
+            decisions: st.decisions.clone(),
+            trace: st.trace.clone(),
+            failure: st.failure.clone(),
+        }
+    }
+}
+
+/// Execute one schedule of `f` under a fresh runtime. The root of the model
+/// runs as thread 0 on a scoped OS thread; `interlock::thread::spawn` inside
+/// `f` adds more.
+pub(crate) fn run_once<F: Fn() + Sync>(
+    forced: Vec<usize>,
+    policy: Policy,
+    max_steps: usize,
+    f: &F,
+) -> RunOutcome {
+    install_hook();
+    let rt = Runtime::new(forced, policy, max_steps);
+    std::thread::scope(|s| {
+        let rt2 = Arc::clone(&rt);
+        s.spawn(move || {
+            set_ctx(Some(Ctx {
+                rt: Arc::clone(&rt2),
+                tid: 0,
+            }));
+            let ok = rt2.wait_initial(0);
+            let res: Result<(), Box<dyn std::any::Any + Send>> = if ok {
+                panic::catch_unwind(AssertUnwindSafe(f))
+            } else {
+                Err(Box::new(Abort))
+            };
+            let payload = res.as_ref().err().map(|b| b.as_ref());
+            rt2.thread_finished(0, payload);
+            set_ctx(None);
+        });
+        rt.wait_done();
+    });
+    rt.take_outcome()
+}

@@ -1,0 +1,436 @@
+//! Instrumented drop-in replacements for `std::sync` lock types.
+//!
+//! Each object captures the active model runtime (if any) at construction
+//! time. When used from a thread that belongs to that runtime, operations go
+//! through the deterministic scheduler: blocking is *logical* (the thread is
+//! parked by the scheduler, never by the OS primitive), so the single-running-
+//! thread invariant is preserved and deadlocks are detected rather than hung.
+//!
+//! When no model run is active — or the object was built outside one — every
+//! operation passes straight through to the underlying `std::sync` primitive.
+//! This makes the `cfg(aqua_model_check)` facade swap benign for code paths
+//! that are not being modeled (test setup, helper threads, other tests in the
+//! same binary).
+
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{
+    Arc, Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+    PoisonError, RwLock as StdRwLock, RwLockReadGuard as StdRwLockReadGuard,
+    RwLockWriteGuard as StdRwLockWriteGuard, TryLockError, TryLockResult,
+};
+
+use crate::runtime::{current_ctx, Runtime};
+
+pub(crate) struct ModelRef {
+    pub(crate) rt: Arc<Runtime>,
+    pub(crate) id: usize,
+}
+
+impl ModelRef {
+    /// The (runtime, tid) pair if the calling thread belongs to this object's
+    /// model run; `None` means passthrough.
+    fn for_current(model: &Option<ModelRef>) -> Option<(&ModelRef, usize)> {
+        let m = model.as_ref()?;
+        let c = current_ctx()?;
+        if Arc::ptr_eq(&m.rt, &c.rt) {
+            Some((m, c.tid))
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Deterministic-scheduler-aware `Mutex`. API mirrors `std::sync::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    model: Option<ModelRef>,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        let model = current_ctx().map(|c| ModelRef {
+            id: c.rt.register_mutex(),
+            rt: c.rt,
+        });
+        Self {
+            model,
+            inner: StdMutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn grab_inner(&self) -> StdMutexGuard<'_, T> {
+        match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("interlock: logical mutex ownership violated")
+            }
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((m, tid)) = ModelRef::for_current(&self.model) {
+            m.rt.model_lock(tid, m.id);
+            Ok(MutexGuard {
+                lock: self,
+                inner: ManuallyDrop::new(self.grab_inner()),
+                model: true,
+            })
+        } else {
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: ManuallyDrop::new(g),
+                    model: false,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: ManuallyDrop::new(p.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        if let Some((m, tid)) = ModelRef::for_current(&self.model) {
+            if m.rt.model_try_lock(tid, m.id) {
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: ManuallyDrop::new(self.grab_inner()),
+                    model: true,
+                })
+            } else {
+                Err(TryLockError::WouldBlock)
+            }
+        } else {
+            match self.inner.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: ManuallyDrop::new(g),
+                    model: false,
+                }),
+                Err(TryLockError::Poisoned(p)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: ManuallyDrop::new(p.into_inner()),
+                        model: false,
+                    })))
+                }
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            }
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: ManuallyDrop<StdMutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Decompose without running our `Drop` (no logical unlock). Used by
+    /// `Condvar::wait`, which hands ownership transfer to the scheduler.
+    fn into_parts(self) -> (&'a Mutex<T>, StdMutexGuard<'a, T>, bool) {
+        let mut me = ManuallyDrop::new(self);
+        let lock = me.lock;
+        let model = me.model;
+        // SAFETY: `me` is never dropped, so the inner guard is moved out
+        // exactly once.
+        let inner = unsafe { ManuallyDrop::take(&mut me.inner) };
+        (lock, inner, model)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: drop runs at most once; `inner` is not touched afterwards.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.model {
+            if let Some((m, tid)) = ModelRef::for_current(&self.lock.model) {
+                m.rt.model_unlock(tid, m.id);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Deterministic-scheduler-aware `Condvar`. Wakeups are FIFO and never
+/// spurious; a notify with no waiters is lost, exactly like the real thing —
+/// which is what lets the checker catch lost-wakeup bugs.
+pub struct Condvar {
+    model: Option<ModelRef>,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        let model = current_ctx().map(|c| ModelRef {
+            id: c.rt.register_condvar(),
+            rt: c.rt,
+        });
+        Self {
+            model,
+            inner: StdCondvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (lock, std_guard, was_model) = guard.into_parts();
+        if was_model {
+            let (mc, tid) = ModelRef::for_current(&self.model)
+                .unwrap_or_else(|| panic!("interlock: modeled guard waited on unmodeled Condvar"));
+            let (mm, _) = ModelRef::for_current(&lock.model)
+                .unwrap_or_else(|| panic!("interlock: guard/mutex model mismatch"));
+            // Drop the real guard; logical ownership is transferred inside
+            // model_cond_wait (release -> block -> reacquire).
+            drop(std_guard);
+            mc.rt.model_cond_wait(tid, mc.id, mm.id);
+            Ok(MutexGuard {
+                lock,
+                inner: ManuallyDrop::new(lock.grab_inner()),
+                model: true,
+            })
+        } else {
+            match self.inner.wait(std_guard) {
+                Ok(g) => Ok(MutexGuard {
+                    lock,
+                    inner: ManuallyDrop::new(g),
+                    model: false,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: ManuallyDrop::new(p.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+        if let Some((m, tid)) = ModelRef::for_current(&self.model) {
+            m.rt.model_notify(tid, m.id, false);
+        }
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+        if let Some((m, tid)) = ModelRef::for_current(&self.model) {
+            m.rt.model_notify(tid, m.id, true);
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Deterministic-scheduler-aware `RwLock`. On release, all blocked readers
+/// and writers become runnable and the scheduler decides who wins, so both
+/// reader-first and writer-first orders are explored.
+pub struct RwLock<T: ?Sized> {
+    model: Option<ModelRef>,
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(t: T) -> Self {
+        let model = current_ctx().map(|c| ModelRef {
+            id: c.rt.register_rwlock(),
+            rt: c.rt,
+        });
+        Self {
+            model,
+            inner: StdRwLock::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if let Some((m, tid)) = ModelRef::for_current(&self.model) {
+            m.rt.model_rw_read(tid, m.id);
+            let g = match self.inner.try_read() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("interlock: logical rwlock read ownership violated")
+                }
+            };
+            Ok(RwLockReadGuard {
+                lock: self,
+                inner: ManuallyDrop::new(g),
+                model: true,
+            })
+        } else {
+            match self.inner.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: ManuallyDrop::new(g),
+                    model: false,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                    lock: self,
+                    inner: ManuallyDrop::new(p.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if let Some((m, tid)) = ModelRef::for_current(&self.model) {
+            m.rt.model_rw_write(tid, m.id);
+            let g = match self.inner.try_write() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("interlock: logical rwlock write ownership violated")
+                }
+            };
+            Ok(RwLockWriteGuard {
+                lock: self,
+                inner: ManuallyDrop::new(g),
+                model: true,
+            })
+        } else {
+            match self.inner.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: ManuallyDrop::new(g),
+                    model: false,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                    lock: self,
+                    inner: ManuallyDrop::new(p.into_inner()),
+                    model: false,
+                })),
+            }
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: ManuallyDrop<StdRwLockReadGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: drop runs at most once; `inner` is not touched afterwards.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.model {
+            if let Some((m, tid)) = ModelRef::for_current(&self.lock.model) {
+                m.rt.model_rw_read_unlock(tid, m.id);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: ManuallyDrop<StdRwLockWriteGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: drop runs at most once; `inner` is not touched afterwards.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.model {
+            if let Some((m, tid)) = ModelRef::for_current(&self.lock.model) {
+                m.rt.model_rw_write_unlock(tid, m.id);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}

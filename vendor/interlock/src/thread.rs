@@ -1,0 +1,98 @@
+//! Instrumented `thread::spawn`/`JoinHandle`. On a model thread, spawning
+//! registers a new schedulable thread with the runtime; the child still runs
+//! on a real OS thread but only when the scheduler gives it the turn.
+//! Off-model, this is plain `std::thread`.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::runtime::{current_ctx, set_ctx, Abort, Ctx, Runtime};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        rt: Arc<Runtime>,
+        tid: usize,
+        real: std::thread::JoinHandle<Option<T>>,
+    },
+}
+
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { rt, tid, real } => {
+                let me = current_ctx().filter(|c| Arc::ptr_eq(&c.rt, &rt));
+                if let Some(me) = me {
+                    rt.model_join(me.tid, tid);
+                }
+                match real.join() {
+                    Ok(Some(t)) => Ok(t),
+                    Ok(None) => Err(Box::new("interlock: model thread panicked")),
+                    Err(p) => Err(p),
+                }
+            }
+        }
+    }
+
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            Inner::Std(h) => h.is_finished(),
+            Inner::Model { real, .. } => real.is_finished(),
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        Some(c) => {
+            let tid = c.rt.register_thread();
+            let rt = Arc::clone(&c.rt);
+            let real = std::thread::spawn(move || {
+                set_ctx(Some(Ctx {
+                    rt: Arc::clone(&rt),
+                    tid,
+                }));
+                let res: Result<T, Box<dyn std::any::Any + Send>> = if rt.wait_initial(tid) {
+                    panic::catch_unwind(AssertUnwindSafe(f))
+                } else {
+                    Err(Box::new(Abort))
+                };
+                let payload = res.as_ref().err().map(|b| b.as_ref());
+                rt.thread_finished(tid, payload);
+                set_ctx(None);
+                res.ok()
+            });
+            c.rt.model_op(c.tid, &format!("spawn t{tid}"));
+            JoinHandle(Inner::Model {
+                rt: c.rt,
+                tid,
+                real,
+            })
+        }
+    }
+}
+
+pub fn yield_now() {
+    match current_ctx() {
+        Some(c) => c.rt.model_op(c.tid, "yield"),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// In a model run, `sleep` is a pure schedule point — model time does not
+/// advance, which is exactly what exposes sleep-masked races.
+pub fn sleep(dur: Duration) {
+    match current_ctx() {
+        Some(c) => c.rt.model_op(c.tid, "sleep"),
+        None => std::thread::sleep(dur),
+    }
+}
