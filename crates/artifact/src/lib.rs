@@ -45,8 +45,9 @@ pub const MAGIC: &[u8; 8] = b"AQUAPROF";
 ///
 /// History: v1 — initial layout; v2 — tree configs gained a split-strategy
 /// field and gradient boosting gained early-stopping state (ml crate
-/// histogram training rework).
-pub const FORMAT_VERSION: u32 = 2;
+/// histogram training rework); v3 — the sensing fault model gained the
+/// malicious coordinated-bias fields (rate, bias, onset).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Why an artifact failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]

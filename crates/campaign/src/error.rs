@@ -1,0 +1,26 @@
+//! Campaign error type.
+
+use std::fmt;
+
+/// Errors surfaced while compiling, rendering, or replaying a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The plan itself is unusable (zero slots, empty hazard mix, …).
+    InvalidPlan(String),
+    /// Every rung of the hydraulic fallback ladder failed for a slot.
+    Hydraulic(String),
+    /// The hosted replay arm failed (transport, session, or parse).
+    Replay(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidPlan(msg) => write!(f, "invalid campaign plan: {msg}"),
+            CampaignError::Hydraulic(msg) => write!(f, "campaign hydraulic failure: {msg}"),
+            CampaignError::Replay(msg) => write!(f, "campaign replay failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}

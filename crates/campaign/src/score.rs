@@ -1,0 +1,114 @@
+//! Campaign scoring: hamming accuracy and localization distance of a
+//! detection stream against the rendered ground truth.
+
+use aqua_net::{Network, NodeId};
+
+use crate::timeline::RenderedCampaign;
+
+/// Degradation metrics of one detector run over one rendered campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignScore {
+    /// Mean per-slot label agreement in `[0, 1]` (1 = perfect): one minus
+    /// the symmetric difference between predicted and true leak sets,
+    /// normalized by junction count.
+    pub hamming: f64,
+    /// Mean normalized localization distance in `[0, 1]` over slots with
+    /// an active leak: for each true leak node, the euclidean distance to
+    /// the nearest predicted node, normalized by the network's bounding
+    /// box diagonal; a slot with no prediction scores the full diagonal.
+    pub localization: f64,
+    /// Slots scored (all but the priming slot 0).
+    pub scored_slots: usize,
+    /// Scored slots with at least one active leak.
+    pub truth_slots: usize,
+    /// Detections in the stream.
+    pub detections: usize,
+}
+
+/// Euclidean length of the network's coordinate bounding-box diagonal —
+/// the localization normalizer.
+#[must_use]
+pub fn bbox_diagonal(net: &Network) -> f64 {
+    let mut min = (f64::INFINITY, f64::INFINITY);
+    let mut max = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for node in net.nodes() {
+        min.0 = min.0.min(node.x);
+        min.1 = min.1.min(node.y);
+        max.0 = max.0.max(node.x);
+        max.1 = max.1.max(node.y);
+    }
+    let (dx, dy) = (max.0 - min.0, max.1 - min.1);
+    (dx * dx + dy * dy).sqrt().max(f64::MIN_POSITIVE)
+}
+
+fn distance(net: &Network, a: NodeId, b: NodeId) -> f64 {
+    let (na, nb) = (net.node(a), net.node(b));
+    let (dx, dy) = (na.x - nb.x, na.y - nb.y);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Scores a detection stream (`(time, leak nodes)` pairs, as produced by
+/// a hosted session) against a rendered campaign's ground truth.
+///
+/// Slot 0 is excluded: detectors prime their delta baselines there and
+/// cannot fire by construction.
+#[must_use]
+pub fn score_detections(
+    net: &Network,
+    rendered: &RenderedCampaign,
+    detections: &[(u64, Vec<NodeId>)],
+) -> CampaignScore {
+    let nj = net.junction_ids().len().max(1);
+    let diag = bbox_diagonal(net);
+    let mut hamming_sum = 0.0;
+    let mut localization_sum = 0.0;
+    let mut scored_slots = 0usize;
+    let mut truth_slots = 0usize;
+    for (slot, (&time, truth)) in rendered.times.iter().zip(&rendered.true_leaks).enumerate() {
+        if slot == 0 {
+            continue;
+        }
+        scored_slots += 1;
+        let predicted: &[NodeId] = detections
+            .iter()
+            .find(|(t, _)| *t == time)
+            .map(|(_, nodes)| nodes.as_slice())
+            .unwrap_or(&[]);
+        let missed = truth.iter().filter(|n| !predicted.contains(n)).count();
+        let spurious = predicted.iter().filter(|n| !truth.contains(n)).count();
+        hamming_sum += 1.0 - (missed + spurious) as f64 / nj as f64;
+        if !truth.is_empty() {
+            truth_slots += 1;
+            let slot_distance = if predicted.is_empty() {
+                diag
+            } else {
+                let total: f64 = truth
+                    .iter()
+                    .map(|&t| {
+                        predicted
+                            .iter()
+                            .map(|&p| distance(net, t, p))
+                            .fold(f64::INFINITY, f64::min)
+                    })
+                    .sum();
+                total / truth.len() as f64
+            };
+            localization_sum += (slot_distance / diag).min(1.0);
+        }
+    }
+    CampaignScore {
+        hamming: if scored_slots > 0 {
+            hamming_sum / scored_slots as f64
+        } else {
+            1.0
+        },
+        localization: if truth_slots > 0 {
+            localization_sum / truth_slots as f64
+        } else {
+            0.0
+        },
+        scored_slots,
+        truth_slots,
+        detections: detections.len(),
+    }
+}

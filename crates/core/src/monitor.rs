@@ -646,6 +646,64 @@ mod tests {
     }
 
     #[test]
+    fn malicious_campaign_is_quarantined_within_policy_windows() {
+        let (net, config) = trained();
+        let aqua = AquaScale::new(&net, config);
+        let profile = aqua.train_profile().unwrap();
+        let faults = FaultModel {
+            malicious_rate: 0.15,
+            malicious_onset: 2,
+            seed: 19,
+            ..FaultModel::none()
+        };
+        let compromised: Vec<usize> = (0..profile.sensors.len())
+            .filter(|&c| faults.is_malicious_channel(c))
+            .collect();
+        assert!(
+            !compromised.is_empty() && compromised.len() < profile.sensors.len(),
+            "seed must compromise a strict subset ({} of {})",
+            compromised.len(),
+            profile.sensors.len()
+        );
+
+        // Bound check: the default bias violates the plausibility bounds,
+        // so sticky quarantine must isolate every compromised channel
+        // within `max_implausible` observation windows of the onset.
+        let policy_windows = HealthPolicy::default().max_implausible;
+        let mut short = MonitoringSession::with_faults(&aqua, &profile, 5, faults);
+        short
+            .run_scenario(
+                &Scenario::default(),
+                faults.malicious_onset + policy_windows as u64,
+                900,
+                &SolverOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(
+            short.quarantined_channels(),
+            compromised,
+            "exactly the compromised channels must be quarantined"
+        );
+
+        // Detections keep flowing on the surviving sensors: the same
+        // campaign with a mid-stream leak still localizes it.
+        let mut session = MonitoringSession::with_faults(&aqua, &profile, 5, faults);
+        let leak_node = net.junction_ids()[33];
+        let scenario = Scenario::new().with_leak(LeakEvent::new(leak_node, 0.02, 8 * 900));
+        let hit = session
+            .run_scenario(&scenario, 16, 900, &SolverOptions::default())
+            .unwrap();
+        let hit = hit.expect("spoofed channels must not blind the session");
+        assert!(
+            (8..=11).contains(&hit),
+            "detection at slot {hit}, leak started at slot 8"
+        );
+        assert_eq!(session.quarantined_channels(), compromised);
+        let last = session.detections.last().expect("detections fired");
+        assert_eq!(last.quarantined, compromised);
+    }
+
+    #[test]
     fn telemetry_counts_slots_quarantines_and_detections() {
         let net = synth::epa_net();
         let config = AquaScaleConfig {

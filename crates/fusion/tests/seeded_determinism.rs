@@ -1,0 +1,84 @@
+//! Seeded determinism of the weather models the campaign engine drives:
+//! the Markov regime chain, the AR(1) temperature series, and the
+//! freeze/break conditionals must be pure functions of `(params, seed)`.
+
+use aqua_fusion::{BreakRateModel, FreezeModel, MarkovWeather, Regime, TemperatureModel};
+
+#[test]
+fn markov_chain_is_deterministic_per_seed() {
+    let weather = MarkovWeather::default();
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+        let a = weather.simulate(120, seed);
+        let b = weather.simulate(120, seed);
+        assert_eq!(a.len(), 120);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0, "regime diverged under seed {seed}");
+            assert_eq!(
+                x.1.to_bits(),
+                y.1.to_bits(),
+                "temperature diverged under seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn markov_chain_varies_across_seeds_and_visits_both_regimes() {
+    let weather = MarkovWeather::default();
+    let a = weather.simulate(365, 1);
+    let b = weather.simulate(365, 2);
+    assert!(
+        a.iter()
+            .zip(&b)
+            .any(|(x, y)| x.1.to_bits() != y.1.to_bits()),
+        "different seeds must produce different series"
+    );
+    assert!(a.iter().any(|(r, _)| *r == Regime::Normal));
+    assert!(
+        a.iter().any(|(r, _)| *r == Regime::ColdSnap),
+        "a year of mid-Atlantic winters must contain a cold snap"
+    );
+}
+
+#[test]
+fn cold_snap_days_run_colder_on_average() {
+    let series = MarkovWeather::default().simulate(3650, 7);
+    let mean = |regime: Regime| {
+        let days: Vec<f64> = series
+            .iter()
+            .filter(|(r, _)| *r == regime)
+            .map(|&(_, t)| t)
+            .collect();
+        days.iter().sum::<f64>() / days.len().max(1) as f64
+    };
+    assert!(mean(Regime::ColdSnap) < mean(Regime::Normal) - 10.0);
+}
+
+#[test]
+fn temperature_series_is_deterministic_per_seed() {
+    let model = TemperatureModel::default();
+    let a = model.daily_series(400, 11);
+    let b = model.daily_series(400, 11);
+    assert_eq!(a.len(), 400);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    let c = model.daily_series(400, 12);
+    assert!(a.iter().zip(&c).any(|(x, y)| x.to_bits() != y.to_bits()));
+}
+
+#[test]
+fn freeze_and_break_models_are_pure() {
+    let freeze = FreezeModel::default();
+    assert!(freeze.is_cold(freeze.threshold_f - 1.0));
+    assert!(!freeze.is_cold(freeze.threshold_f + 1.0));
+
+    let breaks = BreakRateModel::default();
+    let cold = breaks.expected_breaks(0.0);
+    let warm = breaks.expected_breaks(80.0);
+    assert!(cold > warm, "cold weather must raise the break rate");
+    assert_eq!(
+        breaks.expected_breaks(17.0).to_bits(),
+        breaks.expected_breaks(17.0).to_bits()
+    );
+}

@@ -13,6 +13,15 @@
 //!   slot (uncompensated temperature sensitivity, fouling).
 //! * **Spike** — a transient large additive excursion on a single reading
 //!   (EMI burst, water hammer on an impulse line).
+//! * **Malicious** — an adversarial *coordinated-bias* campaign: a
+//!   deterministic subset of channels is compromised and, from an onset
+//!   slot onward, every compromised channel reports the truth shifted by
+//!   the same signed bias. Unlike the hardware modes above, the bias is
+//!   correlated across channels by construction — that coordination is
+//!   what the quarantine layer must catch (see `aqua-core`'s health
+//!   policy: the default bias magnitude lands outside the plausibility
+//!   bounds, so sticky quarantine isolates every compromised channel
+//!   within `max_implausible` observation windows).
 //!
 //! Faulty readings surface as [`Reading`] — an `Option<f64>` plus the
 //! [`FaultKind`] that produced it — so downstream consumers can impute or
@@ -47,6 +56,9 @@ pub enum FaultKind {
     Drift,
     /// The reading carries a single large transient excursion.
     Spike,
+    /// The channel is compromised: an adversary reports the truth plus a
+    /// campaign-wide coordinated bias.
+    Malicious,
 }
 
 /// One sensor reading after fault injection: the (possibly absent) value
@@ -103,6 +115,20 @@ pub struct FaultModel {
     pub drift_per_slot: f64,
     /// Additive magnitude of a spike (sign is per-reading deterministic).
     pub spike_magnitude: f64,
+    /// Per-channel probability that a channel is compromised by the
+    /// coordinated-bias adversary.
+    pub malicious_rate: f64,
+    /// Additive magnitude of the coordinated bias. One campaign-wide sign
+    /// is drawn from the seed, so every compromised channel shifts the
+    /// same way — the signature of a coordinated attack. The default is
+    /// deliberately outside the plausibility bounds of `aqua-core`'s
+    /// default health policy, so quarantine catches the campaign; a
+    /// stealthier adversary can lower it and is then measured as score
+    /// degradation instead (see `fig_campaign`).
+    pub malicious_bias: f64,
+    /// First sampling slot of the spoofing campaign; readings before it
+    /// are untouched.
+    pub malicious_onset: u64,
     /// Base seed for all fault placement hashes.
     pub seed: u64,
 }
@@ -116,6 +142,9 @@ impl Default for FaultModel {
             spike_rate: 0.0,
             drift_per_slot: 0.02,
             spike_magnitude: 5.0,
+            malicious_rate: 0.0,
+            malicious_bias: 600.0,
+            malicious_onset: 0,
             seed: 0,
         }
     }
@@ -129,6 +158,9 @@ impl Codec for FaultModel {
         w.f64(self.spike_rate);
         w.f64(self.drift_per_slot);
         w.f64(self.spike_magnitude);
+        w.f64(self.malicious_rate);
+        w.f64(self.malicious_bias);
+        w.u64(self.malicious_onset);
         w.u64(self.seed);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, ArtifactError> {
@@ -139,6 +171,9 @@ impl Codec for FaultModel {
             spike_rate: r.f64()?,
             drift_per_slot: r.f64()?,
             spike_magnitude: r.f64()?,
+            malicious_rate: r.f64()?,
+            malicious_bias: r.f64()?,
+            malicious_onset: r.u64()?,
             seed: r.u64()?,
         })
     }
@@ -152,6 +187,7 @@ const SALT_STUCK: u64 = 0xbf58_476d_1ce4_e5b9;
 const SALT_DRIFT: u64 = 0x94d0_49bb_1331_11eb;
 const SALT_SPIKE: u64 = 0xd6e8_feb8_6659_fd93;
 const SALT_SIGN: u64 = 0xa076_1d64_78bd_642f;
+const SALT_MALICIOUS: u64 = 0xe703_7ed1_a0b4_28db;
 
 impl FaultModel {
     /// The no-fault model (also the `Default`).
@@ -181,6 +217,7 @@ impl FaultModel {
             || self.stuck_rate > 0.0
             || self.drift_rate > 0.0
             || self.spike_rate > 0.0
+            || self.malicious_rate > 0.0
     }
 
     /// Is this reading dropped?
@@ -219,6 +256,27 @@ impl FaultModel {
         } else {
             -1.0
         }
+    }
+
+    /// Is this channel compromised by the coordinated-bias adversary?
+    pub fn is_malicious_channel(&self, channel: usize) -> bool {
+        unit(mix2(self.seed ^ SALT_MALICIOUS, channel as u64)) < self.malicious_rate
+    }
+
+    /// The campaign-wide bias sign: one draw from the seed shared by every
+    /// compromised channel (coordination is the attack's signature).
+    pub fn malicious_sign(&self) -> f64 {
+        if splitmix64(self.seed ^ SALT_MALICIOUS ^ SALT_SIGN) & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Does the spoofing campaign bias this reading? True exactly when the
+    /// channel is compromised and the slot has reached the onset.
+    pub fn is_malicious(&self, channel: usize, slot: u64) -> bool {
+        slot >= self.malicious_onset && self.is_malicious_channel(channel)
     }
 }
 
@@ -263,9 +321,11 @@ impl FaultInjector {
     /// Produces the delivered reading for the true value `truth` on
     /// `channel` at sampling `slot`.
     ///
-    /// Fault precedence, highest first: killed ▸ dropout ▸ stuck-at ▸
-    /// spike ▸ drift. A stuck channel freezes at the first value this
-    /// injector reads on it.
+    /// Fault precedence, highest first: killed ▸ dropout ▸ malicious ▸
+    /// stuck-at ▸ spike ▸ drift. A stuck channel freezes at the first
+    /// value this injector reads on it. A compromised transmitter reports
+    /// the attacker's value regardless of its hardware regime — only
+    /// radio loss (dropout/killed) still hides it.
     pub fn read(&mut self, channel: usize, slot: u64, truth: f64) -> Reading {
         if self.killed.contains(&channel) {
             return Reading::missing();
@@ -275,6 +335,12 @@ impl FaultInjector {
         }
         if self.model.is_dropout(channel, slot) {
             return Reading::missing();
+        }
+        if self.model.is_malicious(channel, slot) {
+            return Reading {
+                value: Some(truth + self.model.malicious_sign() * self.model.malicious_bias),
+                fault: Some(FaultKind::Malicious),
+            };
         }
         if self.model.is_stuck_channel(channel) {
             let frozen = *self.stuck_values.entry(channel).or_insert(truth);
@@ -494,6 +560,75 @@ mod tests {
         let mut w2 = Writer::new();
         back.encode(&mut w2);
         assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn malicious_bias_is_coordinated_and_onset_gated() {
+        let model = FaultModel {
+            malicious_rate: 0.4,
+            malicious_bias: 600.0,
+            malicious_onset: 3,
+            seed: 21,
+            ..FaultModel::none()
+        };
+        let mut inj = FaultInjector::new(model);
+        let compromised: Vec<usize> = (0..50).filter(|&c| model.is_malicious_channel(c)).collect();
+        assert!(
+            compromised.len() > 5 && compromised.len() < 35,
+            "compromised set size {}",
+            compromised.len()
+        );
+        let sign = model.malicious_sign();
+        for &ch in &compromised {
+            // Before the onset the channel reads clean.
+            assert_eq!(inj.read(ch, 0, 7.0), Reading::clean(7.0));
+            // From the onset every compromised channel shifts by the same
+            // signed bias — the coordination signature.
+            let r = inj.read(ch, 3, 7.0);
+            assert_eq!(r.fault, Some(FaultKind::Malicious));
+            assert!((r.value.unwrap() - (7.0 + sign * 600.0)).abs() < 1e-12);
+        }
+        // Uncompromised channels are untouched after the onset.
+        let clean: Vec<usize> = (0..50)
+            .filter(|&c| !model.is_malicious_channel(c))
+            .collect();
+        for &ch in clean.iter().take(5) {
+            assert_eq!(inj.read(ch, 9, 7.0), Reading::clean(7.0));
+        }
+    }
+
+    #[test]
+    fn malicious_placement_is_deterministic_per_seed() {
+        let a = FaultModel {
+            malicious_rate: 0.3,
+            seed: 5,
+            ..FaultModel::none()
+        };
+        let b = a.with_seed(6);
+        let set =
+            |m: &FaultModel| -> Vec<bool> { (0..200).map(|c| m.is_malicious_channel(c)).collect() };
+        assert_eq!(set(&a), set(&a));
+        assert_ne!(set(&a), set(&b));
+        // The campaign sign is a pure function of the seed too.
+        assert_eq!(a.malicious_sign(), a.malicious_sign());
+    }
+
+    #[test]
+    fn malicious_fields_roundtrip_through_codec() {
+        let model = FaultModel {
+            malicious_rate: 0.25,
+            malicious_bias: 123.5,
+            malicious_onset: 17,
+            seed: 77,
+            ..FaultModel::none()
+        };
+        let mut w = Writer::new();
+        model.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = FaultModel::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, model);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 #![forbid(unsafe_code)]
 
 pub use aqua_artifact as artifact;
+pub use aqua_campaign as campaign;
 pub use aqua_core as core;
 pub use aqua_flood as flood;
 pub use aqua_fusion as fusion;
